@@ -1,0 +1,143 @@
+"""D-6: the Scheduler's placement algorithm vs baselines (§4.5).
+
+"A straightforward algorithm chooses the fastest, most available
+machine."  We sweep that policy against random and round-robin
+placement on a heterogeneous grid (speeds 1x..2.5x) for two workload
+shapes:
+
+- a bag of independent equal jobs (placement quality shows up as load
+  balance across heterogeneity);
+- a sequence of job sets arriving over time (availability-awareness
+  shows up as avoiding busy machines).
+
+Expected shape: "best" (fastest-most-available) beats random and
+round-robin on makespan; the advantage grows with heterogeneity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.osim.programs import make_compute_program
+
+SPEEDS = [1.0, 1.3, 1.8, 2.5]
+
+
+def _run_bag(policy, n_jobs=12, work=40.0, speeds=SPEEDS, seed=5):
+    tb = Testbed(
+        n_machines=len(speeds),
+        machine_speeds=speeds,
+        seed=seed,
+        scheduling_policy=policy,
+        utilization_period=0.5,
+    )
+    tb.programs.register(make_compute_program("unit", work, outputs={"o": b"1"}))
+    client = tb.make_client()
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("unit"))
+    for i in range(n_jobs):
+        spec.add(JobSpec(name=f"job{i:02d}", executable=FileRef(exe, "job.exe")))
+    start = tb.env.now
+    outcome, _, _ = tb.run_job_set(client, spec)
+    assert outcome == "completed"
+    return tb.env.now - start
+
+
+def bench_d6_policy_makespan(benchmark):
+    def scenario():
+        rows = []
+        makespans = {}
+        for policy in ("best", "roundrobin", "random"):
+            makespan = _run_bag(policy)
+            makespans[policy] = makespan
+            rows.append([policy, makespan])
+        return rows, makespans
+
+    rows, makespans = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "D-6: 12 equal jobs on a 1.0x-2.5x heterogeneous grid (makespan, s)",
+        ["policy", "makespan_s"],
+        rows,
+    )
+    benchmark.extra_info.update(makespans)
+    assert makespans["best"] <= makespans["roundrobin"]
+    assert makespans["best"] <= makespans["random"]
+
+
+def bench_d6_heterogeneity_sweep(benchmark):
+    """The 'best' policy's edge over round-robin grows with speed spread."""
+
+    def scenario():
+        rows = []
+        edges = []
+        for spread, speeds in (
+            ("none (all 1.0x)", [1.0, 1.0, 1.0, 1.0]),
+            ("mild (1.0-1.5x)", [1.0, 1.16, 1.33, 1.5]),
+            ("strong (1.0-3.0x)", [1.0, 1.66, 2.33, 3.0]),
+        ):
+            best = _run_bag("best", speeds=speeds)
+            rr = _run_bag("roundrobin", speeds=speeds)
+            rows.append([spread, best, rr, rr / best])
+            edges.append(rr / best)
+        return rows, edges
+
+    rows, edges = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "D-6: policy edge vs machine heterogeneity",
+        ["heterogeneity", "best_s", "roundrobin_s", "rr/best"],
+        rows,
+    )
+    benchmark.extra_info["edge_none"] = edges[0]
+    benchmark.extra_info["edge_strong"] = edges[-1]
+    # With identical machines the policies tie; with strong heterogeneity
+    # fastest-most-available clearly wins.
+    assert edges[0] == pytest.approx(1.0, rel=0.10)
+    assert edges[-1] > 1.15
+    assert edges[-1] > edges[0]
+
+
+def bench_d6_dependency_chain_overhead(benchmark):
+    """Chain scheduling cost: per-hop overhead (staging + notification +
+    dispatch) on top of pure compute, as chain length grows."""
+
+    def scenario():
+        rows = []
+        per_hop = []
+        for length in (2, 4, 8):
+            tb = Testbed(n_machines=3, seed=9, machine_speeds=[1.0, 1.0, 1.0])
+            tb.programs.register(
+                make_compute_program("hop", 5.0, outputs={"out": b"x"})
+            )
+            client = tb.make_client()
+            spec = client.new_job_set()
+            exe = client.add_program_binary(tb.programs.get("hop"))
+            for i in range(length):
+                inputs = [] if i == 0 else [FileRef(f"job{i-1}://out", "prev")]
+                spec.add(
+                    JobSpec(name=f"job{i}", executable=FileRef(exe, "job.exe"),
+                            inputs=inputs, outputs=["out"])
+                )
+            start = tb.env.now
+            outcome, _, _ = tb.run_job_set(client, spec)
+            assert outcome == "completed"
+            makespan = tb.env.now - start
+            compute = 5.0 * length
+            overhead = (makespan - compute) / length
+            rows.append([length, makespan, compute, overhead * 1000])
+            per_hop.append(overhead)
+        return rows, per_hop
+
+    rows, per_hop = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "D-6: chain orchestration overhead per hop",
+        ["chain_length", "makespan_s", "pure_compute_s", "overhead_ms_per_hop"],
+        rows,
+    )
+    benchmark.extra_info["overhead_ms_per_hop"] = per_hop[-1] * 1000
+    # Orchestration overhead per hop is roughly constant (the pipeline
+    # scales), and far smaller than the jobs themselves.
+    assert per_hop[-1] == pytest.approx(per_hop[0], rel=0.5)
+    assert per_hop[-1] < 1.0

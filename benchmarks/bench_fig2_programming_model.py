@@ -1,0 +1,168 @@
+"""FIG-2: the attribute programming model (paper Fig. 2's MyServ).
+
+Recreates MyServ exactly and measures the cost of each state-access path
+the programming model provides:
+
+- ``GetResourceProperty`` — the standard WSRF interface;
+- ``GetMultipleResourceProperties`` — batched standard interface;
+- ``QueryResourceProperties`` — XPath over the RP document;
+- a custom author-written getter method (what a service/client pair
+  would agree on without WSRF).
+
+Expected shape: the standard interfaces cost the same as a custom
+method (they ride the identical pipeline), batching N properties in one
+GetMultiple beats N GetResourceProperty calls, and Query pays a premium
+for building + searching the RP document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table, run_coroutine
+
+from repro.net import Network
+from repro.osim import Machine
+from repro.sim import Environment
+from repro.wsrf import (
+    GetMultipleResourcePropertiesPortType,
+    GetResourcePropertyPortType,
+    QueryResourcePropertiesPortType,
+    Resource,
+    ResourceProperty,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+    WsrfClient,
+    deploy,
+)
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+CALLS = 40
+
+
+@WSRFPortType(
+    GetResourcePropertyPortType,
+    GetMultipleResourcePropertiesPortType,
+    QueryResourcePropertiesPortType,
+)
+class MyServ(ServiceSkeleton):
+    """Verbatim Fig. 2, plus a custom getter for the baseline."""
+
+    some_data = Resource(default="grid")
+
+    @ResourceProperty
+    @property
+    def MyData(self) -> str:
+        return f"At {self.env.now} the string is {self.some_data}"
+
+    @ResourceProperty
+    @property
+    def Second(self) -> str:
+        return self.some_data.upper()
+
+    @ResourceProperty
+    @property
+    def Third(self) -> int:
+        return len(self.some_data)
+
+    @WebMethod(requires_resource=False)
+    def Create(self):
+        return self.epr_for(self.create_resource(some_data="fig2"))
+
+    @WebMethod
+    def CustomGetMyData(self) -> str:
+        """The hand-rolled alternative to GetResourceProperty."""
+        return f"At {self.env.now} the string is {self.some_data}"
+
+
+def _mean(env, call, calls=CALLS):
+    def driver():
+        start = env.now
+        for _ in range(calls):
+            yield from call()
+        return (env.now - start) / calls
+
+    return run_coroutine(env, driver())
+
+
+def bench_fig2_rp_access_paths(benchmark):
+    def scenario():
+        env = Environment()
+        net = Network(env)
+        machine = Machine(net, "server")
+        net.add_host("client")
+        client = WsrfClient(net, "client")
+        wrapper = deploy(MyServ, machine, "MyServ")
+        epr = run_coroutine(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        qnames = [QName(UVA, n) for n in ("MyData", "Second", "Third")]
+
+        def get_rp():
+            yield from client.get_resource_property(epr, qnames[0])
+
+        def get_multi():
+            yield from client.get_multiple_resource_properties(epr, qnames)
+
+        def three_singles():
+            for qname in qnames:
+                yield from client.get_resource_property(epr, qname)
+
+        def query():
+            yield from client.query_resource_properties(epr, "//MyData/text()")
+
+        def custom():
+            yield from client.call(epr, UVA, "CustomGetMyData")
+
+        return {
+            "GetResourceProperty": _mean(env, get_rp),
+            "GetMultiple(3 RPs)": _mean(env, get_multi),
+            "3x GetResourceProperty": _mean(env, three_singles),
+            "QueryResourceProperties": _mean(env, query),
+            "custom getter method": _mean(env, custom),
+        }
+
+    latencies = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "FIG-2: state-access path cost (simulated ms)",
+        ["path", "latency_ms"],
+        [[name, v * 1000] for name, v in latencies.items()],
+    )
+    benchmark.extra_info.update({k: v * 1000 for k, v in latencies.items()})
+    # Standard plumbing costs what a custom interface costs.
+    assert latencies["GetResourceProperty"] == pytest.approx(
+        latencies["custom getter method"], rel=0.15
+    )
+    # One batched call beats three singles.
+    assert latencies["GetMultiple(3 RPs)"] < latencies["3x GetResourceProperty"] / 2
+    # Query rides the same wire pipeline (its extra CPU — RP-document
+    # construction + XPath — is host CPU, measured by bench_d3).
+    assert latencies["QueryResourceProperties"] == pytest.approx(
+        latencies["GetResourceProperty"], rel=0.15
+    )
+
+
+def bench_fig2_fig2_example_behaviour(benchmark):
+    """The Fig. 2 semantics themselves: load-before-invoke and
+    save-after-change, measured in store operations per call."""
+
+    def scenario():
+        env = Environment()
+        net = Network(env)
+        machine = Machine(net, "server")
+        net.add_host("client")
+        client = WsrfClient(net, "client")
+        wrapper = deploy(MyServ, machine, "MyServ")
+        epr = run_coroutine(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        loads0, saves0 = wrapper.store.loads, wrapper.store.saves
+        run_coroutine(env, client.get_resource_property(epr, QName(UVA, "MyData")))
+        read_ops = (wrapper.store.loads - loads0, wrapper.store.saves - saves0)
+        return read_ops
+
+    read_ops = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "FIG-2: store operations per read-only invocation",
+        ["loads", "saves"],
+        [list(read_ops)],
+    )
+    assert read_ops == (1, 0)  # one load, no save for a read-only call

@@ -1,0 +1,130 @@
+"""FIG-3: end-to-end job set execution on the testbed (paper Fig. 3, §4.6).
+
+Runs the full ten-step pipeline and reports:
+
+- the numbered step trace (the figure's arrows, asserted in order);
+- job set makespan as the grid grows (independent jobs: more machines →
+  shorter makespan, until the job count binds);
+- makespan of a dependency chain (serialization floor: machines can't
+  help a chain).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.osim.programs import make_compute_program
+
+
+def _make_testbed(n_machines, seed=11):
+    tb = Testbed(n_machines=n_machines, seed=seed,
+                 machine_speeds=[1.0] * n_machines)
+    tb.programs.register(
+        make_compute_program("work", 30.0, outputs={"out": b"x"})
+    )
+    tb.programs.register(
+        make_compute_program("chain", 10.0, outputs={"out": b"x"})
+    )
+    return tb
+
+
+def _independent_spec(client, tb, n_jobs):
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("work"))
+    for i in range(n_jobs):
+        spec.add(JobSpec(name=f"job{i}", executable=FileRef(exe, "job.exe")))
+    return spec
+
+
+def _chain_spec(client, tb, n_jobs):
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("chain"))
+    for i in range(n_jobs):
+        inputs = [] if i == 0 else [FileRef(f"job{i-1}://out", "prev.dat")]
+        spec.add(
+            JobSpec(name=f"job{i}", executable=FileRef(exe, "job.exe"),
+                    inputs=inputs, outputs=["out"])
+        )
+    return spec
+
+
+def bench_fig3_ten_step_trace(benchmark):
+    """The §4.6 walkthrough: all ten steps occur, causally ordered."""
+
+    def scenario():
+        tb = _make_testbed(3)
+        client = tb.make_client()
+        outcome, _, _ = tb.run_job_set(client, _chain_spec(client, tb, 2))
+        tb.settle()
+        return tb, outcome
+
+    tb, outcome = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert outcome == "completed"
+    steps = tb.trace.first_occurrence_order()
+    print_table(
+        "FIG-3: first occurrence of each numbered step",
+        ["order", "step", "actor", "at_s"],
+        [
+            [i + 1, s, tb.trace.events_for_step(s)[0].actor,
+             tb.trace.events_for_step(s)[0].at]
+            for i, s in enumerate(steps)
+        ],
+    )
+    assert set(tb.trace.steps()) == {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+    backbone = [s for s in steps if s in (1, 2, 3, 4, 5, 7, 8, 10)]
+    assert backbone == [1, 2, 3, 4, 5, 7, 8, 10]
+    benchmark.extra_info["steps"] = steps
+
+
+def bench_fig3_makespan_vs_machines(benchmark):
+    """8 independent jobs across 1/2/4/8 machines: near-linear speedup."""
+
+    def scenario():
+        makespans = {}
+        for n in (1, 2, 4, 8):
+            tb = _make_testbed(n)
+            client = tb.make_client()
+            start = tb.env.now
+            outcome, _, _ = tb.run_job_set(client, _independent_spec(client, tb, 8))
+            assert outcome == "completed"
+            makespans[n] = tb.env.now - start
+        return makespans
+
+    makespans = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    rows = [[n, m, makespans[1] / m] for n, m in makespans.items()]
+    print_table(
+        "FIG-3: makespan of 8 independent jobs (simulated s)",
+        ["machines", "makespan_s", "speedup"],
+        rows,
+    )
+    benchmark.extra_info.update({f"m{n}": v for n, v in makespans.items()})
+    assert makespans[1] > makespans[2] > makespans[4] > makespans[8]
+    # Near-linear until the job count binds: 8 jobs on 8 machines should
+    # run ≥ 4x faster than on one.
+    assert makespans[1] / makespans[8] > 4.0
+
+
+def bench_fig3_chain_not_parallelizable(benchmark):
+    """A 4-job dependency chain gains nothing from extra machines."""
+
+    def scenario():
+        out = {}
+        for n in (1, 4):
+            tb = _make_testbed(n)
+            client = tb.make_client()
+            start = tb.env.now
+            outcome, _, _ = tb.run_job_set(client, _chain_spec(client, tb, 4))
+            assert outcome == "completed"
+            out[n] = tb.env.now - start
+        return out
+
+    makespans = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "FIG-3: makespan of a 4-job chain (simulated s)",
+        ["machines", "makespan_s"],
+        [[n, v] for n, v in makespans.items()],
+    )
+    assert makespans[4] == pytest.approx(makespans[1], rel=0.10)

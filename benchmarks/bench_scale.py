@@ -1,0 +1,125 @@
+"""Scale behaviour: IIS worker-pool saturation and grid-size sweeps.
+
+Two system-level shapes that bound the architecture the paper built:
+
+- the ASP.NET worker pool is a throughput knee: offered load beyond the
+  pool size queues, and latency grows linearly with queue depth;
+- the centralized Scheduler/Broker/NIS machine is the scaling
+  bottleneck: job-set makespan stays flat as the grid grows (good),
+  but central message volume grows linearly with job count (the cost
+  of the centralized §4 design).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table, run_coroutine
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.net import Network
+from repro.osim import Machine, MachineParams
+from repro.osim.programs import make_compute_program
+from repro.sim import Environment
+
+
+class _FixedWorkApp:
+    """A handler that burns a fixed service time per request."""
+
+    SERVICE_TIME = 0.050
+
+    def __init__(self, env):
+        self.env = env
+
+    def handle_soap(self, payload, ctx):
+        yield self.env.timeout(self.SERVICE_TIME)
+        return "done"
+
+
+def bench_scale_worker_pool_knee(benchmark):
+    """Mean response time vs concurrent clients, 4-thread pool."""
+
+    def scenario():
+        rows = []
+        series = {}
+        for concurrency in (1, 2, 4, 8, 16):
+            env = Environment()
+            net = Network(env)
+            machine = Machine(net, "server", params=MachineParams(iis_workers=4))
+            machine.iis.register_app("Work", _FixedWorkApp(env))
+            latencies = []
+
+            def one_client(env, index):
+                net.add_host(f"c{index}")
+                for _ in range(5):
+                    start = env.now
+                    yield from net.request(f"c{index}", "http://server:80/Work", "x")
+                    latencies.append(env.now - start)
+
+            procs = [env.process(one_client(env, i)) for i in range(concurrency)]
+            env.run()
+            mean = sum(latencies) / len(latencies)
+            rows.append([concurrency, mean * 1000])
+            series[concurrency] = mean
+        return rows, series
+
+    rows, series = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "SCALE: response time vs concurrency (4 ASP.NET workers, 50ms service)",
+        ["concurrent clients", "mean_response_ms"],
+        rows,
+    )
+    benchmark.extra_info.update({f"c{k}_ms": v * 1000 for k, v in series.items()})
+    # Below the pool size latency is flat; beyond it, it grows ~linearly
+    # with the over-subscription factor.
+    assert series[4] < series[1] * 1.5
+    assert series[16] > series[4] * 2.5
+
+
+def bench_scale_grid_size(benchmark):
+    """Fixed per-machine load (2 jobs each) as the grid grows."""
+
+    def scenario():
+        rows = []
+        makespans = {}
+        msg_per_job = {}
+        for n_machines in (4, 8, 16):
+            n_jobs = 2 * n_machines
+            tb = Testbed(
+                n_machines=n_machines,
+                machine_speeds=[1.0] * n_machines,
+                seed=47,
+                start_utilization_services=False,  # isolate job traffic
+            )
+            tb.programs.register(
+                make_compute_program("unit", 20.0, outputs={"o": b"1"})
+            )
+            client = tb.make_client()
+            spec = client.new_job_set()
+            exe = client.add_program_binary(tb.programs.get("unit"))
+            for i in range(n_jobs):
+                spec.add(JobSpec(name=f"j{i:03d}", executable=FileRef(exe, "job.exe")))
+            tb.network.stats.reset()
+            start = tb.env.now
+            outcome, _, _ = tb.run_job_set(client, spec)
+            assert outcome == "completed"
+            makespan = tb.env.now - start
+            messages = tb.network.stats.messages
+            rows.append([n_machines, n_jobs, makespan, messages, messages / n_jobs])
+            makespans[n_machines] = makespan
+            msg_per_job[n_machines] = messages / n_jobs
+        return rows, makespans, msg_per_job
+
+    rows, makespans, msg_per_job = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "SCALE: weak scaling (2 jobs/machine, 20s jobs)",
+        ["machines", "jobs", "makespan_s", "total_messages", "messages_per_job"],
+        rows,
+    )
+    benchmark.extra_info.update({f"m{k}": v for k, v in makespans.items()})
+    # Weak scaling holds: makespan roughly flat as machines and jobs
+    # grow together (sequential dispatch adds a small linear term)...
+    assert makespans[16] < makespans[4] * 1.5
+    # ...and the per-job message cost of the centralized design is
+    # constant (total central traffic grows linearly with jobs).
+    assert msg_per_job[16] == pytest.approx(msg_per_job[4], rel=0.25)

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one experiment from DESIGN.md's
+index.  pytest-benchmark measures the real (host) execution time of the
+experiment; the *simulated* metrics — latency in simulated milliseconds,
+message counts, makespans — are the reproduction's results.  They are
+printed as tables (``-s`` to see them) and attached to the benchmark
+record via ``benchmark.extra_info`` so ``--benchmark-json`` captures
+them, and the qualitative shape the paper claims is asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+
+def print_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+    """Render one experiment table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.6f}"
+    return str(value)
+
+
+def run_coroutine(env, gen):
+    """Drive a simulation coroutine to completion; return its value."""
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+@pytest.fixture()
+def table():
+    return print_table

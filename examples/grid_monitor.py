@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""A grid monitoring console built purely from standard WSRF interfaces.
+
+§5's argument is that standardized Resource Properties let generic
+tooling "work on all services, not just service/client pairs that had
+agreed upon their own specific interfaces".  This example is that
+tooling: while a job set runs, a monitor that knows *nothing* about the
+testbed services beyond their EPRs and WSRF itself
+
+- polls every job's ``Status`` and ``CpuTime`` RPs (GetMultiple),
+- queries the Scheduler's job set with XPath (QueryResourceProperties),
+- walks the Node Info service group (WS-ServiceGroup Entry RP),
+- and tails live WS-Notification events.
+
+Run:  python examples/grid_monitor.py
+"""
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.gridapp.execution_service import parse_job_event
+from repro.osim.programs import make_compute_program
+from repro.wsrf.servicegroup import ENTRY_RP, parse_entries
+from repro.gridapp.node_info import parse_processor_content
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+
+
+def main() -> None:
+    testbed = Testbed(n_machines=4, seed=99, utilization_period=0.5,
+                      utilization_threshold=0.05)
+    testbed.programs.register(
+        make_compute_program("crunch", 40.0, outputs={"out": b"d"})
+    )
+    client = testbed.make_client()
+    spec = client.new_job_set()
+    exe = client.add_program_binary(testbed.programs.get("crunch"))
+    for i in range(3):
+        spec.add(JobSpec(name=f"sim{i}", executable=FileRef(exe, "job.exe")))
+
+    env = testbed.env
+
+    def monitor():
+        jobset_epr, topic = yield from client.submit(spec)
+        print(f"submitted job set {topic}\n")
+        soap = client.soap
+
+        for tick in range(6):
+            yield env.timeout(8.0)
+            print(f"--- monitor tick at t={env.now:.1f}s ---")
+
+            # 1. Job set status via XPath over the RP document.
+            hits = yield from soap.query_resource_properties(
+                jobset_epr, "//Status/text()"
+            )
+            print(f"  job set status (XPath query): {hits}")
+
+            # 2. Per-job Status + CpuTime via GetMultiple.
+            job_eprs = {}
+            for note in client.listener.received:
+                event = parse_job_event(note.payload)
+                if event.get("kind") == "JobStarted":
+                    job_eprs[event["job_name"]] = event["job_epr"]
+            for name in sorted(job_eprs):
+                try:
+                    values = yield from soap.get_multiple_resource_properties(
+                        job_eprs[name],
+                        [QName(UVA, "Status"), QName(UVA, "CpuTime")],
+                    )
+                except Exception as exc:  # job resource may be gone
+                    print(f"  {name}: <unavailable: {exc}>")
+                    continue
+                status = values[QName(UVA, "Status")]
+                cpu = values[QName(UVA, "CpuTime")]
+                print(f"  {name}: {status:<8s} cpu={cpu:6.2f}s")
+
+            # 3. The processor catalog via the WS-ServiceGroup Entry RP.
+            group_epr = testbed.node_info.epr_for(testbed.node_info.nis_group_rid)
+            entries = parse_entries(
+                (yield from soap.get_resource_property(group_epr, ENTRY_RP))
+            )
+            load = [
+                (parse_processor_content(content)["name"],
+                 parse_processor_content(content)["utilization"])
+                for _, _, content in entries
+                if content is not None
+            ]
+            bar = "  ".join(f"{n}:{u:4.0%}" for n, u in sorted(load))
+            print(f"  processors: {bar}")
+
+            status = yield from soap.get_resource_property(
+                jobset_epr, QName(UVA, "Status")
+            )
+            if status != "Running":
+                print(f"\njob set finished: {status}")
+                break
+
+        print("\nlast 8 live notifications the monitor saw:")
+        for note in client.listener.received[-8:]:
+            print(f"  [{note.at:7.2f}s] {note.topic}")
+
+    testbed.run(monitor())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on minimal environments (setuptools
+without wheel, no network for build isolation).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Miniature database layer.
+
+WSRF.NET "implements WS-Resources using any ODBC compliant database";
+state values are loaded from the database when a method is invoked and
+saved back when it returns.  This package supplies that substrate:
+
+- :mod:`repro.db.engine` — a tiny relational engine (typed columns,
+  primary keys, secondary indexes, predicate queries);
+- :mod:`repro.db.sql` — a small SQL dialect over the engine (SELECT /
+  INSERT / UPDATE / DELETE with equality WHERE), standing in for ODBC;
+- :mod:`repro.db.resource_store` — the blob-backed WS-Resource state
+  store (state dicts serialized to XML bytes in a BLOB column), which
+  reproduces §5's "binary, unstructured data ... makes it very difficult
+  to query" behaviour;
+- :mod:`repro.db.xmlstore` — the XML-database alternative the authors
+  were "currently experimenting with" (Yukon): documents stay structured
+  and are queryable with XPath.  Benchmark D-3 compares the two.
+"""
+
+from repro.db.engine import Column, Database, DbError, Table
+from repro.db.sql import SqlError, execute_sql
+from repro.db.resource_store import BlobResourceStore, NoSuchResource
+from repro.db.xmlstore import XmlResourceStore
+
+__all__ = [
+    "BlobResourceStore",
+    "Column",
+    "Database",
+    "DbError",
+    "NoSuchResource",
+    "SqlError",
+    "Table",
+    "XmlResourceStore",
+    "execute_sql",
+]

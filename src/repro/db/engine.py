@@ -1,0 +1,223 @@
+"""A tiny in-memory relational engine with typed columns and indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+_TYPES: Dict[str, Tuple[type, ...]] = {
+    "INTEGER": (int,),
+    "REAL": (int, float),
+    "TEXT": (str,),
+    "BLOB": (bytes,),
+}
+
+
+class DbError(Exception):
+    """Schema violations, duplicate keys, unknown tables/columns."""
+
+
+class Column:
+    """A typed column; ``primary_key`` columns are unique and indexed."""
+
+    __slots__ = ("name", "type", "primary_key", "nullable")
+
+    def __init__(
+        self,
+        name: str,
+        type: str,
+        primary_key: bool = False,
+        nullable: bool = True,
+    ) -> None:
+        if type not in _TYPES:
+            raise DbError(f"unknown column type {type!r}")
+        self.name = name
+        self.type = type
+        self.primary_key = primary_key
+        self.nullable = nullable and not primary_key
+
+    def check(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise DbError(f"column {self.name!r} is NOT NULL")
+            return
+        expected = _TYPES[self.type]
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise DbError(
+                f"column {self.name!r} expects {self.type}, got {type(value).__name__}"
+            )
+
+
+Row = Dict[str, Any]
+Predicate = Callable[[Row], bool]
+
+
+class Table:
+    """Rows stored as dicts; the primary key (if any) is hash-indexed."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise DbError(f"table {name!r} needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise DbError(f"duplicate column names in table {name!r}")
+        pks = [c for c in columns if c.primary_key]
+        if len(pks) > 1:
+            raise DbError(f"table {name!r} has multiple primary keys")
+        self.name = name
+        self.columns: Dict[str, Column] = {c.name: c for c in columns}
+        self.pk: Optional[str] = pks[0].name if pks else None
+        self._rows: List[Row] = []
+        self._pk_index: Dict[Any, Row] = {}
+        self._secondary: Dict[str, Dict[Any, List[Row]]] = {}
+
+    # -- schema ----------------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Add a secondary (non-unique) hash index on *column*."""
+        if column not in self.columns:
+            raise DbError(f"no column {column!r} in table {self.name!r}")
+        index: Dict[Any, List[Row]] = {}
+        for row in self._rows:
+            index.setdefault(row[column], []).append(row)
+        self._secondary[column] = index
+
+    def _normalize(self, values: Row) -> Row:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise DbError(f"unknown columns {sorted(unknown)} in table {self.name!r}")
+        row = {name: values.get(name) for name in self.columns}
+        for name, column in self.columns.items():
+            column.check(row[name])
+        return row
+
+    # -- DML -------------------------------------------------------------------
+
+    def insert(self, values: Row) -> Row:
+        row = self._normalize(values)
+        if self.pk is not None:
+            key = row[self.pk]
+            if key in self._pk_index:
+                raise DbError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._pk_index[key] = row
+        self._rows.append(row)
+        for column, index in self._secondary.items():
+            index.setdefault(row[column], []).append(row)
+        return dict(row)
+
+    def get(self, key: Any) -> Optional[Row]:
+        """Primary-key point lookup (O(1))."""
+        if self.pk is None:
+            raise DbError(f"table {self.name!r} has no primary key")
+        row = self._pk_index.get(key)
+        return dict(row) if row is not None else None
+
+    def _candidates(self, equals: Optional[Row]) -> Iterable[Row]:
+        if equals:
+            if self.pk is not None and self.pk in equals:
+                row = self._pk_index.get(equals[self.pk])
+                return [row] if row is not None else []
+            for column, index in self._secondary.items():
+                if column in equals:
+                    return list(index.get(equals[column], []))
+        return list(self._rows)
+
+    def select(
+        self,
+        equals: Optional[Row] = None,
+        where: Optional[Predicate] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> List[Row]:
+        """Rows matching all ``equals`` pairs and the ``where`` predicate."""
+        if columns is not None:
+            for name in columns:
+                if name not in self.columns:
+                    raise DbError(f"no column {name!r} in table {self.name!r}")
+        out = []
+        for row in self._candidates(equals):
+            if equals and any(row.get(k) != v for k, v in equals.items()):
+                continue
+            if where is not None and not where(row):
+                continue
+            if columns is None:
+                out.append(dict(row))
+            else:
+                out.append({name: row[name] for name in columns})
+        return out
+
+    def update(
+        self,
+        values: Row,
+        equals: Optional[Row] = None,
+        where: Optional[Predicate] = None,
+    ) -> int:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise DbError(f"unknown columns {sorted(unknown)} in table {self.name!r}")
+        if self.pk is not None and self.pk in values:
+            raise DbError("updating the primary key is not supported")
+        for name, value in values.items():
+            self.columns[name].check(value)
+        count = 0
+        for row in self._candidates(equals):
+            if equals and any(row.get(k) != v for k, v in equals.items()):
+                continue
+            if where is not None and not where(row):
+                continue
+            for column, index in self._secondary.items():
+                if column in values and values[column] != row[column]:
+                    index[row[column]].remove(row)
+                    index.setdefault(values[column], []).append(row)
+            row.update(values)
+            count += 1
+        return count
+
+    def delete(
+        self,
+        equals: Optional[Row] = None,
+        where: Optional[Predicate] = None,
+    ) -> int:
+        doomed = []
+        for row in self._candidates(equals):
+            if equals and any(row.get(k) != v for k, v in equals.items()):
+                continue
+            if where is not None and not where(row):
+                continue
+            doomed.append(row)
+        for row in doomed:
+            self._rows.remove(row)
+            if self.pk is not None:
+                del self._pk_index[row[self.pk]]
+            for column, index in self._secondary.items():
+                index[row[column]].remove(row)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class Database:
+    """A named collection of tables."""
+
+    def __init__(self, name: str = "wsrfnet") -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        if name in self.tables:
+            raise DbError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise DbError(f"no table {name!r}")
+        del self.tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise DbError(f"no table {name!r}") from None

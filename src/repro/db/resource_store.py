@@ -1,0 +1,132 @@
+"""Blob-backed WS-Resource state store (the WSRF.NET 1.1 design).
+
+"Saving a service's Resources as binary, unstructured data is effective
+for loading and storing, but makes it very difficult to query them in
+the database" (§5).  This store reproduces that design: each resource's
+state dict is serialized to an XML document and stored as a BLOB; point
+loads are cheap, but any query must deserialize every blob.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.db.engine import Column, Database
+from repro.soap import from_typed_element, to_typed_element
+from repro.xmlx import NS, Element, QName, parse, to_string, xpath_select
+
+_STATE_TAG = QName(NS.UVACG, "ResourceState")
+
+State = Dict[QName, Any]
+
+
+class NoSuchResource(KeyError):
+    """Raised on load/save/destroy of an unknown resource."""
+
+
+def encode_state(state: State) -> bytes:
+    root = Element(_STATE_TAG)
+    for key, value in state.items():
+        qkey = key if isinstance(key, QName) else QName(key)
+        root.append(to_typed_element(qkey, value))
+    return to_string(root).encode("utf-8")
+
+
+def decode_state(blob: bytes) -> State:
+    root = parse(blob.decode("utf-8"))
+    if root.tag != _STATE_TAG:
+        raise ValueError(f"not a resource-state document: {root.tag}")
+    return {child.tag: from_typed_element(child) for child in root.children}
+
+
+class BlobResourceStore:
+    """CRUD + (expensive) scan-query over serialized resource state."""
+
+    TABLE = "resources"
+
+    def __init__(self, db: Optional[Database] = None) -> None:
+        self.db = db or Database()
+        if self.TABLE not in self.db.tables:
+            table = self.db.create_table(
+                self.TABLE,
+                [
+                    Column("rid", "TEXT", primary_key=True),
+                    Column("service", "TEXT", nullable=False),
+                    Column("resource_id", "TEXT", nullable=False),
+                    Column("state", "BLOB", nullable=False),
+                ],
+            )
+            table.create_index("service")
+        #: operation counters for the D-3 benchmark
+        self.loads = 0
+        self.saves = 0
+        self.scans = 0
+
+    @staticmethod
+    def _key(service: str, resource_id: str) -> str:
+        return f"{service}|{resource_id}"
+
+    def create(self, service: str, resource_id: str, state: State) -> None:
+        self.db.table(self.TABLE).insert(
+            {
+                "rid": self._key(service, resource_id),
+                "service": service,
+                "resource_id": resource_id,
+                "state": encode_state(state),
+            }
+        )
+        self.saves += 1
+
+    def exists(self, service: str, resource_id: str) -> bool:
+        return self.db.table(self.TABLE).get(self._key(service, resource_id)) is not None
+
+    def load(self, service: str, resource_id: str) -> State:
+        row = self.db.table(self.TABLE).get(self._key(service, resource_id))
+        if row is None:
+            raise NoSuchResource(f"{service}/{resource_id}")
+        self.loads += 1
+        return decode_state(row["state"])
+
+    def save(self, service: str, resource_id: str, state: State) -> None:
+        count = self.db.table(self.TABLE).update(
+            {"state": encode_state(state)},
+            equals={"rid": self._key(service, resource_id)},
+        )
+        if count == 0:
+            raise NoSuchResource(f"{service}/{resource_id}")
+        self.saves += 1
+
+    def destroy(self, service: str, resource_id: str) -> None:
+        count = self.db.table(self.TABLE).delete(
+            equals={"rid": self._key(service, resource_id)}
+        )
+        if count == 0:
+            raise NoSuchResource(f"{service}/{resource_id}")
+
+    def list_ids(self, service: str) -> List[str]:
+        rows = self.db.table(self.TABLE).select(
+            equals={"service": service}, columns=["resource_id"]
+        )
+        return sorted(row["resource_id"] for row in rows)
+
+    def scan_query(
+        self,
+        service: str,
+        xpath: str,
+        namespaces: Optional[Dict[str, str]] = None,
+    ) -> List[Tuple[str, list]]:
+        """Query every resource of *service* — deserializing each blob.
+
+        This is the §5 pain point made concrete: cost is O(total state
+        size), not O(matches).
+        """
+        self.scans += 1
+        out: List[Tuple[str, list]] = []
+        rows = self.db.table(self.TABLE).select(equals={"service": service})
+        for row in rows:
+            doc = parse(row["state"].decode("utf-8"))
+            hits = xpath_select(doc, xpath, namespaces)
+            if hits:
+                out.append((row["resource_id"], hits))
+        out.sort(key=lambda pair: pair[0])
+        return out

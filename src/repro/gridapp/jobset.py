@@ -1,0 +1,187 @@
+"""Job and job-set descriptions (§4: "tuples of {executable, input
+files, output files}").
+
+Input URIs follow §4.6:
+
+- ``local://c:\\file1`` — from the scientist's local file system, served
+  by the client's WSE TCP file server;
+- ``job1://output2`` — the file ``output2`` produced by the job named
+  ``job1`` ("from wherever job1 ends up executing"): a dependency edge
+  the Scheduler resolves once it knows where job1 ran;
+- ``http://host:80/FSS`` + filename — a directory on some grid machine's
+  File System Service.
+
+The executable is just another input file (the paper uploads it with the
+inputs), conventionally named ``job.exe`` in the working directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.net import Uri
+
+
+@dataclass(frozen=True)
+class FileRef:
+    """One input file: where it comes from and what the job calls it."""
+
+    source_url: str  # local://…, jobN://…, or http://host/Service|filename
+    jobname: str  # the name the job expects in its working directory
+
+    RESERVED_SCHEMES = ("local", "http", "soap.tcp")
+
+    def scheme(self) -> str:
+        return Uri.parse(self.source_url).scheme
+
+    def depends_on(self, name_map: Optional[Dict[str, str]] = None) -> Optional[str]:
+        """The producing job's name for ``<jobname>://`` references.
+
+        URI schemes are case-insensitive (parsing lowercases them), so
+        references are matched against the job set's names via
+        *name_map* (lowercased name -> actual name).  Without a map, any
+        non-reserved scheme is assumed to be a job reference.
+        """
+        scheme = self.scheme()
+        if scheme in self.RESERVED_SCHEMES:
+            return None
+        if name_map is None:
+            return scheme
+        return name_map.get(scheme)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"source_url": self.source_url, "jobname": self.jobname}
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "FileRef":
+        return cls(source_url=data["source_url"], jobname=data["jobname"])
+
+
+@dataclass
+class JobSpec:
+    """One job in a job set."""
+
+    name: str
+    executable: FileRef  # uploaded like any input, run as the binary
+    inputs: List[FileRef] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)  # files the job produces
+    args: List[str] = field(default_factory=list)
+
+    def dependencies(self, name_map: Optional[Dict[str, str]] = None) -> List[str]:
+        """Names of jobs whose outputs this job consumes."""
+        deps = []
+        for ref in [self.executable, *self.inputs]:
+            dep = ref.depends_on(name_map)
+            if dep is not None and dep not in deps:
+                deps.append(dep)
+        return deps
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "executable": self.executable.to_wire(),
+            "inputs": [ref.to_wire() for ref in self.inputs],
+            "outputs": list(self.outputs),
+            "args": list(self.args),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "JobSpec":
+        return cls(
+            name=data["name"],
+            executable=FileRef.from_wire(data["executable"]),
+            inputs=[FileRef.from_wire(item) for item in data["inputs"]],
+            outputs=list(data["outputs"]),
+            args=list(data["args"]),
+        )
+
+
+class JobSetValidationError(ValueError):
+    """Duplicate names, unknown dependencies, or dependency cycles."""
+
+
+@dataclass
+class JobSetSpec:
+    """A collection of jobs "in which the output of one is used as input
+    to the next" — a DAG, validated before submission."""
+
+    jobs: List[JobSpec] = field(default_factory=list)
+
+    def add(self, job: JobSpec) -> JobSpec:
+        self.jobs.append(job)
+        return job
+
+    def job(self, name: str) -> JobSpec:
+        for job in self.jobs:
+            if job.name == name:
+                return job
+        raise KeyError(f"no job named {name!r}")
+
+    def name_map(self) -> Dict[str, str]:
+        """Lowercased job name -> actual name (URI schemes lowercase)."""
+        return {job.name.lower(): job.name for job in self.jobs}
+
+    def validate(self) -> None:
+        names = [job.name for job in self.jobs]
+        if len(set(names)) != len(names):
+            raise JobSetValidationError("duplicate job names in job set")
+        if not self.jobs:
+            raise JobSetValidationError("empty job set")
+        lowered = self.name_map()
+        if len(lowered) != len(names):
+            raise JobSetValidationError(
+                "job names must be unique case-insensitively (they become "
+                "URI schemes in jobname:// references)"
+            )
+        for name in lowered:
+            if name in FileRef.RESERVED_SCHEMES:
+                raise JobSetValidationError(
+                    f"job name {lowered[name]!r} collides with a reserved URI scheme"
+                )
+        for job in self.jobs:
+            for ref in [job.executable, *job.inputs]:
+                scheme = ref.scheme()
+                if scheme in FileRef.RESERVED_SCHEMES:
+                    continue
+                if scheme not in lowered:
+                    raise JobSetValidationError(
+                        f"job {job.name!r} references {ref.source_url!r} but no "
+                        f"job in the set is named {scheme!r}"
+                    )
+            for dep in job.dependencies(lowered):
+                if dep == job.name:
+                    raise JobSetValidationError(
+                        f"job {job.name!r} depends on itself"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; raises :class:`JobSetValidationError` on cycles."""
+        lowered = self.name_map()
+        deps = {job.name: set(job.dependencies(lowered)) for job in self.jobs}
+        ready = sorted(name for name, dd in deps.items() if not dd)
+        order: List[str] = []
+        remaining = {name: set(dd) for name, dd in deps.items() if dd}
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            newly = []
+            for other, dd in list(remaining.items()):
+                dd.discard(name)
+                if not dd:
+                    newly.append(other)
+                    del remaining[other]
+            ready.extend(sorted(newly))
+        if remaining:
+            raise JobSetValidationError(
+                f"dependency cycle among jobs {sorted(remaining)}"
+            )
+        return order
+
+    def to_wire(self) -> List[Dict[str, Any]]:
+        return [job.to_wire() for job in self.jobs]
+
+    @classmethod
+    def from_wire(cls, data: List[Dict[str, Any]]) -> "JobSetSpec":
+        return cls(jobs=[JobSpec.from_wire(item) for item in data])

@@ -1,0 +1,159 @@
+"""The Node Info Service (§4.4).
+
+"The Node Info service (NIS) is a service group (as defined by
+WS-ServiceGroups) whose members represent the processors available for
+scheduling."  It *is* our generic :class:`ServiceGroupService` with two
+additions: ``ReportUtilization`` (the one-way message each machine's
+Processor Utilization Windows service sends when load changes by more
+than the configured threshold) and ``GetProcessors`` (the catalog the
+Scheduler polls in step 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.wsa import EndpointReference
+from repro.wsrf.servicegroup import ServiceGroupService
+from repro.wsrf.attributes import WebMethod
+from repro.xmlx import NS, Element, QName
+
+UVA = NS.UVACG
+SG = NS.WSRF_SG
+
+PROCESSOR_INFO = QName(UVA, "ProcessorInfo")
+
+
+def processor_content(
+    name: str,
+    cpu_speed: float,
+    ram_mb: int,
+    utilization: float,
+    updated_at: float,
+) -> Element:
+    """The Content document describing one processor."""
+    el = Element(PROCESSOR_INFO)
+    el.subelement(QName(UVA, "Name"), text=name)
+    el.subelement(QName(UVA, "CpuSpeed"), text=repr(float(cpu_speed)))
+    el.subelement(QName(UVA, "RamMb"), text=str(int(ram_mb)))
+    el.subelement(QName(UVA, "Utilization"), text=repr(float(utilization)))
+    el.subelement(QName(UVA, "UpdatedAt"), text=repr(float(updated_at)))
+    return el
+
+
+def parse_processor_content(el: Element) -> Dict:
+    return {
+        "name": el.child_text(QName(UVA, "Name"), ""),
+        "cpu_speed": float(el.child_text(QName(UVA, "CpuSpeed"), "1.0")),
+        "ram_mb": int(el.child_text(QName(UVA, "RamMb"), "0")),
+        "utilization": float(el.child_text(QName(UVA, "Utilization"), "0.0")),
+        "updated_at": float(el.child_text(QName(UVA, "UpdatedAt"), "0.0")),
+    }
+
+
+class NodeInfoService(ServiceGroupService):
+    """ServiceGroup + the processor catalog operations."""
+
+    # Inherits SERVICE_NS = NS.WSRF_SG, so Add/CreateGroup keep their
+    # spec QNames; ReportUtilization/GetProcessors live there too.
+
+    @WebMethod(requires_resource=False)
+    def ReportUtilization(self, machine_name: str, utilization: float) -> int:
+        """One-way from a machine's Processor Utilization service."""
+        wrapper = self.wsrf.wrapper
+        entry_id = self._entry_for(machine_name)
+        if entry_id is None:
+            return 0
+        state = wrapper.store.load(wrapper.service_name, entry_id)
+        content_key = QName(SG, "content")
+        content = state.get(content_key)
+        if content is None:
+            return 0
+        info = parse_processor_content(content)
+        state[content_key] = processor_content(
+            info["name"], info["cpu_speed"], info["ram_mb"],
+            utilization, self.env.now,
+        )
+        wrapper.store.save(wrapper.service_name, entry_id, state)
+        return 1
+
+    @WebMethod(requires_resource=False)
+    def GetProcessors(self) -> List[Dict]:
+        """The Scheduler's step-2 poll: every known processor's state."""
+        wrapper = self.wsrf.wrapper
+        group_id = getattr(wrapper, "nis_group_rid", None)
+        if group_id is None:
+            return []
+        group_state = wrapper.store.load(wrapper.service_name, group_id)
+        out: List[Dict] = []
+        for entry_id in group_state.get(QName(SG, "entry_ids")) or []:
+            try:
+                state = wrapper.store.load(wrapper.service_name, entry_id)
+            except KeyError:
+                continue
+            content = state.get(QName(SG, "content"))
+            if content is not None:
+                out.append(parse_processor_content(content))
+        return out
+
+    def _entry_for(self, machine_name: str) -> Optional[str]:
+        """Entry resource id for a machine, via a wrapper-side index."""
+        wrapper = self.wsrf.wrapper
+        index = getattr(wrapper, "_processor_index", None)
+        if index is None:
+            index = {}
+            wrapper._processor_index = index
+        entry_id = index.get(machine_name)
+        if entry_id is not None and wrapper.store.exists(wrapper.service_name, entry_id):
+            return entry_id
+        # (Re)build the index from the group.
+        index.clear()
+        group_id = getattr(wrapper, "nis_group_rid", None)
+        if group_id is None:
+            return None
+        group_state = wrapper.store.load(wrapper.service_name, group_id)
+        for eid in group_state.get(QName(SG, "entry_ids")) or []:
+            try:
+                state = wrapper.store.load(wrapper.service_name, eid)
+            except KeyError:
+                continue
+            content = state.get(QName(SG, "content"))
+            if content is not None:
+                index[parse_processor_content(content)["name"]] = eid
+        return index.get(machine_name)
+
+
+def setup_node_info(wrapper, machines) -> str:
+    """Create the NIS group and register every machine's processor.
+
+    Runs at testbed assembly (no network traffic — the administrator
+    seeds the catalog); thereafter the Processor Utilization services
+    keep it fresh over the wire.  Returns the group resource id.
+    """
+    group_rid = wrapper.create_resource_from_fields(
+        {"kind": "group", "entry_ids": [], "content_rule": PROCESSOR_INFO.clark()}
+    )
+    wrapper.nis_group_rid = group_rid
+    entry_ids = []
+    for machine in machines:
+        content = processor_content(
+            machine.name,
+            machine.params.cpu_speed,
+            machine.params.ram_mb,
+            machine.utilization(),
+            wrapper.env.now,
+        )
+        entry_rid = wrapper.create_resource_from_fields(
+            {
+                "kind": "entry",
+                "member_epr": EndpointReference(machine.service_url("ExecService")),
+                "content": content,
+                "group_id": group_rid,
+            }
+        )
+        entry_ids.append(entry_rid)
+    state = wrapper.store.load(wrapper.service_name, group_rid)
+    state[QName(SG, "entry_ids")] = entry_ids
+    wrapper.store.save(wrapper.service_name, group_rid, state)
+    wrapper._pending_db_ops = 0  # assembly-time writes are not billed
+    return group_rid

@@ -1,0 +1,444 @@
+"""The Scheduler Service (§4.5) — "the heart of the remote job execution
+testbed because it coordinates the activities of the other grid
+components".
+
+WS-Resources are *job sets*.  On submission the Scheduler generates a
+unique topic for the job set, subscribes both itself and the client's
+notification listener at the broker, and dispatches every job whose
+dependencies are satisfied.  Each dispatch polls the Node Info service
+for "the latest information about the grid's processors" and picks "the
+fastest, most available machine" (the paper's straightforward
+algorithm; random and round-robin baselines are provided for the D-6
+benchmark).  As jobs complete, the Scheduler "fills in" the locations
+of their output files — the EPRs of the working directories the ESs
+created — so dependent jobs can fetch them, and schedules the next job
+with no uncompleted dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gridapp import tracing
+from repro.gridapp.execution_service import parse_job_event
+from repro.gridapp.jobset import FileRef, JobSetSpec
+from repro.net import Uri
+from repro.wsa import EndpointReference
+from repro.net import DeliveryError
+from repro.wsn.base_notification import (
+    NotificationConsumerPortType,
+    build_subscribe_body,
+    fire_and_forget,
+)
+from repro.wsn.topics import FULL_DIALECT
+from repro.wsrf.attributes import (
+    Resource,
+    ResourceProperty,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+)
+from repro.soap import SoapFault
+from repro.wsrf.basefaults import BaseFault
+from repro.wsrf.lifetime import ImmediateResourceTerminationPortType
+from repro.wsrf.porttypes import (
+    GetMultipleResourcePropertiesPortType,
+    GetResourcePropertyPortType,
+    QueryResourcePropertiesPortType,
+)
+from repro.wssec import UsernameToken, build_security_header, has_x509_token
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+SG = NS.WSRF_SG
+
+
+class SchedulingFault(BaseFault):
+    FAULT_QNAME = QName(UVA, "SchedulingFault")
+
+
+def choose_machine(processors: List[Dict], policy: str, rng=None, rr_state=None) -> Dict:
+    """Pick a machine from the NIS catalog.
+
+    ``best`` — the paper's algorithm: fastest, most available (highest
+    ``speed × (1 - utilization)``; name breaks ties deterministically).
+    ``random`` / ``roundrobin`` — the D-6 baselines.
+    """
+    if not processors:
+        raise SchedulingFault(description="no processors available in the VO")
+    ordered = sorted(processors, key=lambda p: p["name"])
+    if policy == "best":
+        def score(p):
+            # "fastest, most available": nominal speed discounted by the
+            # reported utilization, split across jobs already queued there
+            # by this scheduler.  The availability floor keeps queue depth
+            # meaningful on machines reporting 100% busy.
+            availability = max(0.1, 1.0 - p["utilization"])
+            return p["cpu_speed"] * availability / (1.0 + p.get("queued", 0))
+
+        return max(ordered, key=lambda p: (score(p), p["name"]))
+    if policy == "random":
+        if rng is None:
+            raise SchedulingFault(description="random policy needs an RNG")
+        return ordered[int(rng.integers(0, len(ordered)))]
+    if policy == "roundrobin":
+        index = rr_state["next"] % len(ordered)
+        rr_state["next"] += 1
+        return ordered[index]
+    raise SchedulingFault(description=f"unknown scheduling policy {policy!r}")
+
+
+@WSRFPortType(
+    GetResourcePropertyPortType,
+    GetMultipleResourcePropertiesPortType,
+    QueryResourcePropertiesPortType,
+    ImmediateResourceTerminationPortType,
+    NotificationConsumerPortType,
+)
+class SchedulerService(ServiceSkeleton):
+    """WS-Resources are job sets."""
+
+    SERVICE_NS = UVA
+
+    jobs = Resource(default=None)  # wire-form job specs
+    status = Resource(default="Running")  # Running|Completed|Failed
+    topic = Resource(default="")
+    client_listener_epr = Resource(default=None)
+    client_fs_epr = Resource(default=None)
+    username = Resource(default="")
+    password = Resource(default="")
+    job_phase = Resource(default=None)  # {job: pending|dispatched|done|failed}
+    job_machine = Resource(default=None)  # {job: machine name}
+    job_dirs = Resource(default=None)  # {job: dir EPR} — the "filled in" outputs
+    job_eprs = Resource(default=None)  # {job: job EPR}
+    job_exit_codes = Resource(default=None)  # {job: int}
+    delegated_cred = Resource(default=None)  # the client's signed X.509 header
+
+    # -- resource properties -----------------------------------------------------------
+
+    @ResourceProperty
+    @property
+    def Status(self) -> str:
+        return self.status
+
+    @ResourceProperty
+    @property
+    def Topic(self) -> str:
+        return self.topic
+
+    @ResourceProperty
+    @property
+    def Progress(self) -> Dict:
+        phases = self.job_phase or {}
+        return {
+            "total": len(phases),
+            "done": sum(1 for p in phases.values() if p == "done"),
+            "failed": sum(1 for p in phases.values() if p == "failed"),
+            "dispatched": sum(1 for p in phases.values() if p == "dispatched"),
+        }
+
+    # -- operations -----------------------------------------------------------------------
+
+    @WebMethod(requires_resource=False)
+    def SubmitJobSet(
+        self,
+        jobs: List[Dict],
+        listener_epr: Optional[EndpointReference] = None,
+        fileserver_epr: Optional[EndpointReference] = None,
+    ) -> Dict:
+        """Step 1: accept a job set; returns {"jobset": EPR, "topic": str}."""
+        machine = self.machine
+        wrapper = self.wsrf.wrapper
+        spec = JobSetSpec.from_wire(jobs)
+        spec.validate()
+        credentials = self.wsrf.credentials()
+        # GSI delegation: if the client's security header also carries a
+        # signed X.509 token, keep it to authenticate dispatches to GT4
+        # machines on the client's behalf (a proxy-credential stand-in).
+        from repro.xmlx import NS as _NS
+
+        sec_header = self.wsrf.envelope.find_header(QName(_NS.WSSE, "Security"))
+        delegated = (
+            sec_header.copy()
+            if sec_header is not None and has_x509_token(sec_header)
+            else None
+        )
+        tracing.record(machine, 1, "Scheduler", f"job set of {len(spec.jobs)} jobs")
+
+        seq = getattr(wrapper, "_jobset_seq", 0) + 1
+        wrapper._jobset_seq = seq
+        topic = f"jobset-{seq:04d}"
+
+        rid = self.create_resource(
+            jobs=jobs,
+            status="Running",
+            topic=topic,
+            client_listener_epr=listener_epr,
+            client_fs_epr=fileserver_epr,
+            username=credentials.username,
+            password=credentials.password,
+            job_phase={job.name: "pending" for job in spec.jobs},
+            job_machine={},
+            job_dirs={},
+            job_eprs={},
+            job_exit_codes={},
+            delegated_cred=delegated,
+        )
+        jobset_epr = self.epr_for(rid)
+
+        # "The SS then invokes the Subscribe() method on the Notification
+        # Broker to subscribe both itself and the client's notification
+        # listener to receive notifications about the new topic."
+        broker_epr = getattr(wrapper, "broker_epr", None)
+        if broker_epr is not None:
+            yield from self.client.invoke(
+                broker_epr,
+                build_subscribe_body(jobset_epr, f"{topic}/**", FULL_DIALECT),
+                category="subscribe",
+            )
+            if listener_epr is not None:
+                yield from self.client.invoke(
+                    broker_epr,
+                    build_subscribe_body(listener_epr, f"{topic}/**", FULL_DIALECT),
+                    category="subscribe",
+                )
+
+        # Kick the first scheduling pass via a one-way self-message so it
+        # runs under the job set resource's lock with state loaded.
+        yield from self.client.call(
+            jobset_epr, UVA, "Activate", category="scheduler", one_way=True
+        )
+        return {"jobset": jobset_epr, "topic": topic}
+
+    @WebMethod(one_way=True)
+    def Activate(self):
+        yield from self._schedule_ready_jobs()
+
+    @WebMethod
+    def CancelJobSet(self) -> str:
+        """Kill all dispatched jobs and mark the set failed."""
+        phases = dict(self.job_phase or {})
+        eprs = self.job_eprs or {}
+        for name, phase in phases.items():
+            if phase == "dispatched" and name in eprs:
+                try:
+                    yield from self.client.call(eprs[name], UVA, "Kill")
+                except BaseFault:
+                    pass
+            if phase in ("pending", "dispatched"):
+                phases[name] = "failed"
+        self.job_phase = phases
+        self.status = "Failed"
+        self._announce("cancelled")
+        return "cancelled"
+
+    # -- notification handling ----------------------------------------------------------------
+
+    def on_notification(self, topic, payload, producer):
+        """Job events from the broker (delivered to the job set's EPR)."""
+        event = parse_job_event(payload)
+        kind = event.get("kind")
+        job_name = event.get("job_name")
+        if not job_name or self.status != "Running":
+            return
+        if kind == "JobCreated":
+            eprs = dict(self.job_eprs or {})
+            dirs = dict(self.job_dirs or {})
+            if "job_epr" in event:
+                eprs[job_name] = event["job_epr"]
+            if "dir_epr" in event:
+                # "The Scheduler then makes sure that any further jobs that
+                # reference the output of this job will use this EPR."
+                dirs[job_name] = event["dir_epr"]
+            self.job_eprs = eprs
+            self.job_dirs = dirs
+            return
+        if kind != "JobExited":
+            return
+        phases = dict(self.job_phase or {})
+        codes = dict(self.job_exit_codes or {})
+        code = event.get("exit_code", -1)
+        codes[job_name] = code
+        if code == 0:
+            phases[job_name] = "done"
+            self.job_phase = phases
+            self.job_exit_codes = codes
+            if all(phase == "done" for phase in phases.values()):
+                self.status = "Completed"
+                self._announce("completed")
+            else:
+                # "When the Scheduler gets the message that a job has
+                # completed, it schedules the next job that no longer has
+                # any uncompleted dependencies."
+                yield from self._schedule_ready_jobs()
+        else:
+            phases[job_name] = "failed"
+            self.job_phase = phases
+            self.job_exit_codes = codes
+            self.status = "Failed"
+            self._announce("failed", detail=f"{job_name} exited {code}")
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _schedule_ready_jobs(self):
+        spec = JobSetSpec.from_wire(self.jobs or [])
+        name_map = spec.name_map()
+        phases = dict(self.job_phase or {})
+        for job in spec.jobs:
+            if phases.get(job.name) != "pending":
+                continue
+            if any(
+                phases.get(dep) != "done" for dep in job.dependencies(name_map)
+            ):
+                continue
+            try:
+                yield from self._dispatch(job, name_map)
+            except (SoapFault, DeliveryError, LookupError) as fault:
+                # A dispatch failure must not unwind the whole pass (the
+                # already-recorded placements would be lost): mark the job
+                # and the set failed, announce, and stop scheduling.
+                failed = dict(self.job_phase or {})
+                failed[job.name] = "failed"
+                self.job_phase = failed
+                self.status = "Failed"
+                detail = getattr(fault, "description", str(fault))
+                self._announce("failed", detail=detail)
+                return
+            phases = dict(self.job_phase or {})  # _dispatch updates it
+
+    def _dispatch(self, job, name_map):
+        wrapper = self.wsrf.wrapper
+        machine = self.machine
+        # Step 2: poll the NIS.
+        tracing.record(machine, 2, "Scheduler", f"poll NIS for {job.name}")
+        nis_epr = getattr(wrapper, "nis_epr", None)
+        if nis_epr is None:
+            raise SchedulingFault(description="scheduler has no Node Info service")
+        processors = yield from self.client.call(
+            nis_epr, SG, "GetProcessors", category="nis"
+        )
+        policy = getattr(wrapper, "scheduling_policy", "best")
+        if not hasattr(wrapper, "_rr_state"):
+            wrapper._rr_state = {"next": 0}
+        # The NIS catalog lags (utilization reports are periodic and
+        # threshold-gated), but the Scheduler knows exactly which of this
+        # job set's jobs are already in flight — fold those into
+        # "most available" so back-to-back dispatches spread.
+        in_flight: Dict[str, int] = {}
+        phases = self.job_phase or {}
+        for name, where in (self.job_machine or {}).items():
+            if phases.get(name) == "dispatched":
+                in_flight[where] = in_flight.get(where, 0) + 1
+        processors = [
+            dict(p, queued=in_flight.get(p["name"], 0)) for p in processors
+        ]
+        chosen = choose_machine(
+            processors, policy, rng=getattr(wrapper, "rng", None),
+            rr_state=wrapper._rr_state,
+        )
+        target = chosen["name"]
+
+        files = [self._resolve(job.executable, job.name, name_map)]
+        for ref in job.inputs:
+            files.append(self._resolve(ref, job.name, name_map))
+
+        gt4_machines = getattr(wrapper, "gt4_machines", set())
+        if target in gt4_machines:
+            # GT4 node: forward the client's delegated X.509 credential.
+            if self.delegated_cred is None:
+                raise SchedulingFault(
+                    description=(
+                        f"machine {target!r} requires a grid credential but the "
+                        "client delegated none at submission"
+                    )
+                )
+            header = self.delegated_cred.copy()
+        else:
+            certs = getattr(wrapper, "machine_certs", {})
+            if target not in certs:
+                raise SchedulingFault(
+                    description=f"no certificate known for machine {target!r}"
+                )
+            header = build_security_header(
+                UsernameToken(self.username, self.password), certs[target]
+            )
+        es_epr = EndpointReference(f"http://{target}:80/ExecService")
+        tracing.record(machine, 3, "Scheduler", f"{job.name} -> {target}")
+        result = yield from self.client.call(
+            es_epr,
+            UVA,
+            "Run",
+            {
+                "job_name": job.name,
+                "executable": job.executable.jobname,
+                "files": files,
+                "topic": self.topic,
+                "args": job.args,
+            },
+            extra_headers=[header],
+            category="dispatch",
+        )
+        phases = dict(self.job_phase or {})
+        phases[job.name] = "dispatched"
+        self.job_phase = phases
+        machines = dict(self.job_machine or {})
+        machines[job.name] = target
+        self.job_machine = machines
+        eprs = dict(self.job_eprs or {})
+        eprs[job.name] = result["job"]
+        self.job_eprs = eprs
+        dirs = dict(self.job_dirs or {})
+        dirs[job.name] = result["dir"]
+        self.job_dirs = dirs
+
+    def _resolve(self, ref: FileRef, job_name: str, name_map) -> Dict:
+        """Turn a FileRef into the paper's {EPR, filename, jobname} tuple."""
+        uri = Uri.parse(ref.source_url)
+        if uri.scheme == "local":
+            if self.client_fs_epr is None:
+                raise SchedulingFault(
+                    description=(
+                        f"job {job_name!r} needs {ref.source_url!r} but the "
+                        "client provided no file server"
+                    )
+                )
+            return {
+                "source_epr": self.client_fs_epr,
+                "filename": uri.path,
+                "jobname": ref.jobname,
+            }
+        dep = ref.depends_on(name_map)
+        if dep is not None:
+            dirs = self.job_dirs or {}
+            if dep not in dirs:
+                raise SchedulingFault(
+                    description=(
+                        f"job {job_name!r} needs output of {dep!r} but its "
+                        "location is not known yet"
+                    )
+                )
+            return {
+                "source_epr": dirs[dep],
+                "filename": uri.path,
+                "jobname": ref.jobname,
+            }
+        raise SchedulingFault(
+            description=f"unsupported input URI scheme {uri.scheme!r}"
+        )
+
+    def _announce(self, outcome: str, detail: str = "") -> None:
+        """Broadcast the job set's terminal status on its topic."""
+        wrapper = self.wsrf.wrapper
+        broker_epr = getattr(wrapper, "broker_epr", None)
+        if broker_epr is None:
+            return
+        from repro.wsn.base_notification import build_notify_body
+        from repro.xmlx import Element
+
+        payload = Element(QName(UVA, "JobSetStatus"), text=outcome)
+        if detail:
+            payload.set("detail", detail)
+        body = build_notify_body(
+            f"{self.topic}/{outcome}", payload, wrapper.service_epr()
+        )
+        fire_and_forget(self.env, wrapper.client, broker_epr, body)

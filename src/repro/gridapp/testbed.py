@@ -1,0 +1,212 @@
+"""Stand up the whole UVa Campus Grid testbed on simulated machines.
+
+Mirrors the paper's deployment: every grid machine runs a File System
+service and an Execution service (web services in IIS) plus the
+ProcSpawn and Processor Utilization Windows services; a central machine
+hosts the single Notification Broker, the Scheduler and the Node Info
+service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gridapp.client import GridClient
+from repro.gridapp.execution_service import ExecutionService
+from repro.gridapp.filesystem_service import GRID_ROOT, FileSystemService
+from repro.gridapp.node_info import NodeInfoService, setup_node_info
+from repro.gridapp.scheduler import SchedulerService
+from repro.gridapp.tracing import EventTrace
+from repro.gridapp.utilization import ProcessorUtilizationService
+from repro.gt4 import Gt4ExecutionService, LinuxMachine
+from repro.net import Network, NetworkParams
+from repro.osim import Machine, MachineParams, ProgramRegistry
+from repro.sim import Environment
+from repro.wsn.base_notification import attach_notification_producer
+from repro.wsn.broker import NotificationBrokerService
+from repro.wsrf import deploy
+from repro.wssec import CertificateAuthority
+from repro.wssec.x509 import enroll
+
+#: default grid account present on every machine
+GRID_USER = "griduser"
+GRID_PASSWORD = "gridpw-2004"
+
+
+class Testbed:
+    """One simulated campus grid, ready to run job sets."""
+
+    __test__ = False  # not a pytest test class, despite living in test imports
+
+    def __init__(
+        self,
+        n_machines: int = 4,
+        machine_speeds: Optional[Sequence[float]] = None,
+        seed: int = 42,
+        network_params: Optional[NetworkParams] = None,
+        utilization_threshold: float = 0.10,
+        utilization_period: float = 1.0,
+        start_utilization_services: bool = True,
+        scheduling_policy: str = "best",
+        cores_per_machine: int = 1,
+        n_linux_machines: int = 0,
+    ) -> None:
+        if n_machines < 1:
+            raise ValueError("a grid needs at least one machine")
+        self.env = Environment()
+        self.network = Network(self.env, params=network_params)
+        self.network.trace = EventTrace(self.env)
+        self.trace = self.network.trace
+        self.rng = np.random.default_rng(seed)
+        self.ca = CertificateAuthority()
+        self.programs = ProgramRegistry()
+
+        if machine_speeds is None:
+            # Heterogeneous campus desktops: 1.0x to 2.0x, deterministic.
+            machine_speeds = [
+                1.0 + (i % 4) * 0.333 for i in range(n_machines)
+            ]
+        if len(machine_speeds) != n_machines:
+            raise ValueError("machine_speeds length must equal n_machines")
+
+        # -- central services machine ---------------------------------------------
+        self.central = Machine(
+            self.network, "uvacg-central", params=MachineParams(cpu_speed=2.0),
+            programs=self.programs,
+        )
+        self._enroll(self.central)
+        self.broker = deploy(NotificationBrokerService, self.central, "NotificationBroker")
+        attach_notification_producer(self.broker)
+        self.node_info = deploy(NodeInfoService, self.central, "NodeInfo")
+        self.scheduler = deploy(SchedulerService, self.central, "Scheduler")
+
+        # -- grid machines ------------------------------------------------------------
+        self.machines: List[Machine] = []
+        self.fss: Dict[str, object] = {}
+        self.es: Dict[str, object] = {}
+        self.utilization_services: Dict[str, ProcessorUtilizationService] = {}
+        for i in range(n_machines):
+            machine = Machine(
+                self.network,
+                f"node{i:02d}",
+                params=MachineParams(
+                    cpu_speed=float(machine_speeds[i]), cores=cores_per_machine
+                ),
+                programs=self.programs,
+            )
+            machine.users.add_user(GRID_USER, GRID_PASSWORD)
+            machine.fs.mkdir(GRID_ROOT)
+            self._enroll(machine)
+            self.machines.append(machine)
+            self.fss[machine.name] = deploy(FileSystemService, machine, "FileSystem")
+            es = deploy(ExecutionService, machine, "ExecService")
+            es.broker_epr = self.broker.service_epr()
+            self.es[machine.name] = es
+            util = ProcessorUtilizationService(
+                machine,
+                self.node_info.service_epr(),
+                threshold=utilization_threshold,
+                period=utilization_period,
+            )
+            self.utilization_services[machine.name] = util
+            if start_utilization_services:
+                util.start()
+
+        # -- Linux/GT4 machines (paper 6: UVaCG's Windows+Linux goal) -----------
+        self.linux_machines = []
+        for i in range(n_linux_machines):
+            machine = LinuxMachine(self.network, f"linux{i:02d}", programs=self.programs)
+            machine.users.add_user(GRID_USER, GRID_PASSWORD)
+            machine.trusted_ca = self.ca
+            self._enroll(machine)
+            self.machines.append(machine)
+            self.linux_machines.append(machine)
+            self.fss[machine.name] = deploy(FileSystemService, machine, "FileSystem")
+            es = deploy(Gt4ExecutionService, machine, "ExecService")
+            es.broker_epr = self.broker.service_epr()
+            self.es[machine.name] = es
+            util = ProcessorUtilizationService(
+                machine,
+                self.node_info.service_epr(),
+                threshold=utilization_threshold,
+                period=utilization_period,
+            )
+            self.utilization_services[machine.name] = util
+            if start_utilization_services:
+                util.start()
+
+        # -- wiring -------------------------------------------------------------------
+        setup_node_info(self.node_info, self.machines)
+        self.scheduler.nis_epr = self.node_info.service_epr()
+        self.scheduler.broker_epr = self.broker.service_epr()
+        self.scheduler.machine_certs = {m.name: m.cert for m in self.machines}
+        self.scheduler.scheduling_policy = scheduling_policy
+        self.scheduler.rng = np.random.default_rng(seed + 1)
+        self.scheduler.gt4_machines = {m.name for m in self.linux_machines}
+
+        self._client_seq = 0
+
+    def _enroll(self, machine: Machine) -> None:
+        machine.keys, machine.cert = enroll(self.ca, machine.name)
+
+    # -- clients -----------------------------------------------------------------------
+
+    def make_client(
+        self,
+        host_name: Optional[str] = None,
+        username: str = GRID_USER,
+        password: str = GRID_PASSWORD,
+        grid_identity: bool = False,
+    ) -> GridClient:
+        """A scientist's machine, attached to the campus network.
+
+        ``grid_identity=True`` enrolls the scientist with the campus CA
+        and adds grid-mapfile entries on every Linux machine (mapping
+        the subject to the shared grid account) — required before the
+        Scheduler may dispatch this client's jobs to GT4 nodes.
+        """
+        if host_name is None:
+            self._client_seq += 1
+            host_name = f"client{self._client_seq:02d}"
+        user_keys = user_cert = None
+        if grid_identity:
+            subject = f"CN={username}/O=UVaCG/host={host_name}"
+            user_keys, user_cert = enroll(self.ca, subject)
+            for machine in self.linux_machines:
+                machine.add_gridmap_entry(subject, GRID_USER)
+        return GridClient(
+            self.network,
+            host_name,
+            username,
+            password,
+            scheduler_epr=self.scheduler.service_epr(),
+            scheduler_cert=self.central.cert,
+            user_keys=user_keys,
+            user_cert=user_cert,
+        )
+
+    # -- execution helpers -----------------------------------------------------------------
+
+    def run(self, coroutine):
+        """Run a client coroutine to completion; returns its value."""
+        proc = self.env.process(coroutine)
+        self.env.run(until=proc)
+        return proc.value
+
+    def run_job_set(self, client: GridClient, spec):
+        """Submit *spec* and simulate until it completes (or fails).
+
+        Returns (outcome, jobset_epr, topic).
+        """
+        return self.run(client.run_job_set(spec))
+
+    def settle(self, extra_time: float = 10.0) -> None:
+        """Advance simulated time so in-flight messages land.
+
+        The heap never fully drains while the Processor Utilization
+        samplers run (they tick forever), so settling is a bounded
+        time advance, not a drain.
+        """
+        self.env.run(until=self.env.now + extra_time)

@@ -1,0 +1,30 @@
+"""GT4 interoperability — the paper's §6 next step, implemented.
+
+"The overall goal of the UVaCG will be to seamlessly integrate Windows
+machines (via WSRF.NET) and Linux/UNIX machines (via Globus Toolkit v4)
+for the campus.  ...  We have recently begun testing interoperability
+between WSRF.NET and the Globus Toolkit v4 (actually, GT 3.9.2)."
+
+This package lets simulated Linux machines join the testbed:
+
+- :class:`LinuxMachine` — a Linux node running the GT4 Java WS Core
+  container (modeled with its own dispatch constants) and a fork-based
+  process service instead of ProcSpawn;
+- :class:`Gt4ExecutionService` — an Execution Service whose
+  authentication is GSI-style: a signed X.509 token verified against
+  the campus CA, with the subject mapped to a local account through the
+  grid-mapfile (:meth:`repro.osim.users.UserAccounts.map_grid_credential`
+  — the very mechanism §4.2 anticipates "in the future");
+- testbed plumbing so the Scheduler transparently dispatches to either
+  flavor: UsernameToken to Windows/WSRF.NET nodes, delegated X.509
+  token to Linux/GT4 nodes.
+
+Because both toolkits speak the same WSRF wire (that is the point of
+the specifications), the *same* File System Service code deploys on
+both; only hosting and authentication differ.
+"""
+
+from repro.gt4.machine import ForkSpawnService, Gt4Params, LinuxMachine
+from repro.gt4.execution import Gt4ExecutionService
+
+__all__ = ["ForkSpawnService", "Gt4ExecutionService", "Gt4Params", "LinuxMachine"]

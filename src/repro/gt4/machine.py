@@ -1,0 +1,76 @@
+"""Simulated Linux/GT4 machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net import Network
+from repro.osim.machine import HTTP_PORT, Machine
+from repro.osim.params import MachineParams
+from repro.osim.procspawn import ProcSpawnService, SpawnError
+
+
+@dataclass(frozen=True)
+class Gt4Params(MachineParams):
+    """GT4 Java WS Core constants.
+
+    Contemporary measurements put the GT4 Java container's per-request
+    overhead above IIS/ASP.NET's (JAX-RPC serialization, Axis dispatch)
+    — reflected in a higher dispatch cost; fork() on Linux is much
+    cheaper than CreateProcessAsUser with profile loading.
+    """
+
+    iis_dispatch_s: float = 0.0025  # the Java WS container's dispatch
+    proc_spawn_s: float = 0.008  # fork+exec
+    db_access_s: float = 0.0008
+
+
+class ForkSpawnService(ProcSpawnService):
+    """GT4's fork job starter.
+
+    The container authenticated the grid credential already (GSI); the
+    fork service only requires that the mapped local account exists.
+    """
+
+    service_name = "GT4 fork starter"
+
+    def _authenticate(self, username: str, password: str) -> None:
+        if not self.machine.users.exists(username):
+            raise SpawnError(
+                f"gridmap points at nonexistent local account {username!r}"
+            )
+
+
+class LinuxMachine(Machine):
+    """A Linux node running the GT4 container.
+
+    Mechanically the container reuses the worker-pool dispatch model of
+    :class:`repro.osim.iis.IisServer` (exposed as ``self.container``);
+    what differs is its constants, the fork-based process service, the
+    POSIX filesystem root and the trusted CA used for GSI.
+    """
+
+    GRID_ROOT = "/var/uvacg"
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        params: Optional[Gt4Params] = None,
+        programs=None,
+    ) -> None:
+        super().__init__(network, name, params=params or Gt4Params(), programs=programs)
+        # Replace ProcSpawn with the fork starter.
+        self.procspawn.stop()
+        self.procspawn = ForkSpawnService(self)
+        self.procspawn.start()
+        #: the Java WS Core container (same dispatch model, GT4 constants)
+        self.container = self.iis
+        self.fs.mkdir(self.GRID_ROOT)
+        #: CA trusted for inbound GSI credentials; set at testbed assembly
+        self.trusted_ca = None
+
+    def add_gridmap_entry(self, subject_dn: str, local_user: str) -> None:
+        """One line of /etc/grid-security/grid-mapfile."""
+        self.users.map_grid_credential(subject_dn, local_user)

@@ -1,0 +1,37 @@
+"""Simulated campus network.
+
+This is the substitution for the paper's real testbed network (Windows
+machines across the UVa campus).  It provides:
+
+- :class:`Network` — a registry of named hosts joined by a full mesh of
+  links with configurable latency and bandwidth, with per-host transmit
+  serialization (concurrent sends from one NIC queue behind each other);
+- two transports matching §4.1 of the paper:
+  ``http`` (a connection handshake per request/exchange) and
+  ``soap.tcp`` (WSE TCP messaging: persistent connections that pay the
+  handshake once, then cheap framing — "the preferred way to move large
+  files");
+- one-way messaging (fire-and-forget, connection closed after send) in
+  addition to request/response;
+- byte/message accounting (:class:`NetworkStats`) used by the D-2/D-4/D-5
+  benchmarks.
+
+Calibration constants live in :class:`NetworkParams`; the defaults are
+2004-era campus LAN values.
+"""
+
+from repro.net.params import NetworkParams
+from repro.net.uri import Uri, UriError
+from repro.net.network import DeliveryError, Network, NetworkStats
+from repro.net.host import Host, PortInUse
+
+__all__ = [
+    "DeliveryError",
+    "Host",
+    "Network",
+    "NetworkParams",
+    "NetworkStats",
+    "PortInUse",
+    "Uri",
+    "UriError",
+]

@@ -1,0 +1,60 @@
+"""A network host: named endpoint with bound port servers and a NIC."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+class PortInUse(RuntimeError):
+    """Raised when binding a server to an occupied port."""
+
+
+class Host:
+    """One machine's network presence.
+
+    Servers (IIS front-ends, WSE TCP listeners, the client's local file
+    server) bind to ports; the :class:`Network` delivers messages to them.
+    The NIC serializes transmissions: concurrent sends from the same host
+    queue FIFO, which is what makes bulk transfers contend realistically.
+    """
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        self._servers: Dict[int, object] = {}
+        #: simulated time at which the NIC finishes its current queue
+        self._tx_busy_until = 0.0
+        #: hosts can be taken down for failure-injection tests
+        self.down = False
+
+    def bind(self, port: int, server: object) -> None:
+        if port in self._servers:
+            raise PortInUse(f"port {port} on {self.name!r} is already bound")
+        if not hasattr(server, "handle"):
+            raise TypeError(f"server must expose handle(); got {server!r}")
+        self._servers[port] = server
+
+    def unbind(self, port: int) -> None:
+        self._servers.pop(port, None)
+
+    def server_on(self, port: int) -> Optional[object]:
+        return self._servers.get(port)
+
+    def reserve_tx(self, duration: float) -> float:
+        """Queue a transmission of *duration* on the NIC.
+
+        Returns the simulated time at which the transmission completes.
+        FIFO: if the NIC is already sending, this transfer starts when the
+        previous ones finish.
+        """
+        now = self.network.env.now
+        start = max(now, self._tx_busy_until)
+        finish = start + duration
+        self._tx_busy_until = finish
+        return finish
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name!r} ports={sorted(self._servers)}>"

@@ -1,0 +1,247 @@
+"""The simulated network fabric and its two SOAP transports."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.net.host import Host
+from repro.net.params import NetworkParams
+from repro.net.uri import Uri
+from repro.sim import Environment
+
+
+class DeliveryError(RuntimeError):
+    """Connection refused / host down / partitioned."""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for the benchmark harness."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_scheme: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_category: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_category: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, scheme: str, size: int, category: str) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_scheme[scheme] += 1
+        self.by_category[category] += 1
+        self.bytes_by_category[category] += size
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.by_scheme.clear()
+        self.by_category.clear()
+        self.bytes_by_category.clear()
+
+
+@dataclass(frozen=True)
+class DeliveryContext:
+    """Metadata handed to a server with each inbound message."""
+
+    source_host: str
+    scheme: str
+    one_way: bool
+    path: str = "/"
+
+
+class Network:
+    """Full-mesh fabric of :class:`Host` objects.
+
+    The two public coroutines are :meth:`request` (request/response) and
+    :meth:`send_one_way` (fire-and-forget, §4.1's "one-way message"), both
+    addressed by URI.  soap.tcp connections are cached per
+    (source, destination, port) triple so only the first message pays the
+    session handshake — the WSE TCP behaviour the paper exploits.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        params: Optional[NetworkParams] = None,
+    ) -> None:
+        self.env = env
+        self.params = params or NetworkParams()
+        self.hosts: Dict[str, Host] = {}
+        self.stats = NetworkStats()
+        self._tcp_sessions: Set[Tuple[str, str, int]] = set()
+        self._partitions: Set[Tuple[str, str]] = set()
+        #: optional per-pair latency overrides {(a, b): seconds}
+        self.latency_overrides: Dict[Tuple[str, str], float] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        host = Host(self, name)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise DeliveryError(f"unknown host {name!r}") from None
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever connectivity between hosts *a* and *b* (both directions)."""
+        self._partitions.add((a, b))
+        self._partitions.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard((a, b))
+        self._partitions.discard((b, a))
+
+    def latency_between(self, a: str, b: str) -> float:
+        return self.latency_overrides.get((a, b), self.params.latency_s)
+
+    def _check_reachable(self, src: str, dst: str) -> Host:
+        if self.host(src).down:
+            raise DeliveryError(f"source host {src!r} is down")
+        if (src, dst) in self._partitions:
+            raise DeliveryError(f"network partition between {src!r} and {dst!r}")
+        dest = self.host(dst)
+        if dest.down:
+            raise DeliveryError(f"host {dst!r} is down")
+        return dest
+
+    # -- transports ----------------------------------------------------------------
+
+    def _connect_cost(self, scheme: str, src: str, dst: str, port: int) -> float:
+        p = self.params
+        if scheme == "http":
+            # Every HTTP exchange pays connection establishment.
+            return p.http_connect_s + self.latency_between(src, dst)
+        if scheme == "soap.tcp":
+            key = (src, dst, port)
+            if key in self._tcp_sessions:
+                return 0.0
+            self._tcp_sessions.add(key)
+            return p.soaptcp_connect_s + self.latency_between(src, dst)
+        raise DeliveryError(f"no transport for scheme {scheme!r}")
+
+    def _overhead(self, scheme: str) -> int:
+        return (
+            self.params.http_overhead_B
+            if scheme == "http"
+            else self.params.soaptcp_overhead_B
+        )
+
+    def drop_tcp_sessions(self, host: str) -> None:
+        """Forget cached soap.tcp sessions touching *host* (e.g. restart)."""
+        self._tcp_sessions = {
+            key for key in self._tcp_sessions if key[0] != host and key[1] != host
+        }
+
+    def _transmit(self, src: Host, dst_name: str, scheme: str, size: int, category: str):
+        """Move *size* payload bytes from *src* to *dst_name*; a coroutine."""
+        params = self.params
+        duration = params.transfer_time(size, self._overhead(scheme))
+        finish = src.reserve_tx(duration)
+        # Wait for the NIC to drain, then for propagation.
+        yield self.env.timeout(max(0.0, finish - self.env.now))
+        yield self.env.timeout(self.latency_between(src.name, dst_name))
+        self.stats.record(scheme, size + self._overhead(scheme), category)
+
+    def request(self, src_host: str, url: str, payload: str, category: str = "rpc"):
+        """Request/response exchange; returns the response text.
+
+        A coroutine (``yield from`` it, or wrap with ``env.process``).
+        Raises :class:`DeliveryError` if the destination is unreachable or
+        nothing listens on the port.  Server-side exceptions propagate to
+        the caller (the SOAP layer above converts them to faults first).
+        """
+        uri = Uri.parse(url)
+        if not uri.is_network:
+            raise DeliveryError(f"cannot route non-network URI {url!r}")
+        src = self.host(src_host)
+        dest = self._check_reachable(src_host, uri.host)
+        port = uri.port or 80
+
+        connect = self._connect_cost(uri.scheme, src_host, uri.host, port)
+        if connect:
+            yield self.env.timeout(connect)
+
+        size = len(payload.encode("utf-8"))
+        # Sender-side XML serialization cost.
+        yield self.env.timeout(self.params.xml_cost(size))
+        yield from self._transmit(src, uri.host, uri.scheme, size, category)
+
+        server = dest.server_on(port)
+        if server is None:
+            raise DeliveryError(f"connection refused: {uri.host}:{port}")
+        # Receiver-side parse cost.
+        yield self.env.timeout(self.params.xml_cost(size))
+        ctx = DeliveryContext(source_host=src_host, scheme=uri.scheme, one_way=False, path=uri.path)
+        response = yield self.env.process(server.handle(payload, ctx))
+        if response is None:
+            response = ""
+        resp_size = len(response.encode("utf-8"))
+        yield self.env.timeout(self.params.xml_cost(resp_size))
+        yield from self._transmit(dest, src_host, uri.scheme, resp_size, category)
+        yield self.env.timeout(self.params.xml_cost(resp_size))
+        return response
+
+    def bulk_transfer(
+        self,
+        src_host: str,
+        dst_host: str,
+        scheme: str,
+        size: int,
+        category: str = "bulk",
+    ):
+        """Coroutine: move *size* raw bytes between hosts.
+
+        Used for file payloads too large to embed in SOAP envelopes
+        (synthetic benchmark files): the wire time and traffic stats are
+        charged exactly as if the bytes had been streamed, without
+        materializing them.  An existing transport session is assumed
+        (callers do an RPC first, which establishes it).
+        """
+        if scheme not in ("http", "soap.tcp"):
+            raise DeliveryError(f"no transport for scheme {scheme!r}")
+        src = self.host(src_host)
+        self._check_reachable(src_host, dst_host)
+        yield from self._transmit(src, dst_host, scheme, size, category)
+
+    def send_one_way(self, src_host: str, url: str, payload: str, category: str = "oneway"):
+        """Fire-and-forget message: returns once the payload is delivered.
+
+        The paper's one-way message "closes the connection immediately
+        after sending"; the sender does not wait for the handler to run,
+        so handler exceptions do NOT propagate (they end the handler's
+        own process).
+        """
+        uri = Uri.parse(url)
+        if not uri.is_network:
+            raise DeliveryError(f"cannot route non-network URI {url!r}")
+        src = self.host(src_host)
+        dest = self._check_reachable(src_host, uri.host)
+        port = uri.port or 80
+
+        connect = self._connect_cost(uri.scheme, src_host, uri.host, port)
+        if connect:
+            yield self.env.timeout(connect)
+        size = len(payload.encode("utf-8"))
+        yield self.env.timeout(self.params.xml_cost(size))
+        yield from self._transmit(src, uri.host, uri.scheme, size, category)
+
+        server = dest.server_on(port)
+        if server is None:
+            raise DeliveryError(f"connection refused: {uri.host}:{port}")
+        ctx = DeliveryContext(source_host=src_host, scheme=uri.scheme, one_way=True, path=uri.path)
+
+        def _deliver():
+            # Parse cost is the receiver's problem; runs detached.
+            yield self.env.timeout(self.params.xml_cost(size))
+            yield self.env.process(server.handle(payload, ctx))
+
+        self.env.process(_deliver())
+        return None

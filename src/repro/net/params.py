@@ -1,0 +1,49 @@
+"""Network calibration constants (2004-era campus LAN defaults).
+
+Values are deliberately round; the benchmarks compare *shapes* (who wins,
+where crossovers fall), not absolute numbers, per EXPERIMENTS.md.
+
+Sources for the defaults:
+
+- 100 Mbit/s switched Ethernet was the standard UVa campus drop in 2004.
+- SOAP/HTTP round-trip costs of 5-20 ms for small messages match
+  contemporaneous measurements of ASP.NET/IIS stacks (cf. the WSRF.NET
+  "Early Evaluation" paper's observation that WSRF adds milliseconds per
+  call on such a stack).
+- WSE 2.0 TCP messaging amortizes connection setup and skips HTTP
+  header/chunking overhead, which is why the paper routes large file
+  transfers over ``soap.tcp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    #: one-way propagation + switching delay between two campus hosts (s)
+    latency_s: float = 0.0003
+    #: link bandwidth in bytes/second (100 Mbit/s)
+    bandwidth_Bps: float = 12_500_000.0
+    #: TCP + HTTP connection establishment (3-way handshake + HTTP parse) (s)
+    http_connect_s: float = 0.0020
+    #: fixed HTTP header overhead per message (bytes)
+    http_overhead_B: int = 420
+    #: one-time soap.tcp (WSE TCP) session establishment (s)
+    soaptcp_connect_s: float = 0.0012
+    #: per-message soap.tcp framing overhead (bytes)
+    soaptcp_overhead_B: int = 64
+    #: CPU cost to serialize/deserialize XML, per byte of document (s/B).
+    #: 2004-era .NET XML stacks parsed on the order of 10 MB/s.
+    xml_cost_per_B: float = 1.0e-7
+    #: fixed envelope processing cost per SOAP message (header handling) (s)
+    soap_fixed_s: float = 0.0004
+
+    def transfer_time(self, payload_bytes: int, overhead_bytes: int) -> float:
+        """Serialization delay of one message on the wire (excl. latency)."""
+        return (payload_bytes + overhead_bytes) / self.bandwidth_Bps
+
+    def xml_cost(self, size_bytes: int) -> float:
+        """CPU time to serialize or parse an XML document of this size."""
+        return self.soap_fixed_s + size_bytes * self.xml_cost_per_B

@@ -1,0 +1,75 @@
+"""URI parsing for the schemes the testbed uses.
+
+``http://host:port/path``     ordinary SOAP-over-HTTP endpoints
+``soap.tcp://host:port/path`` WSE TCP messaging endpoints
+``local://path``              the client's local file system (§4.6)
+``jobN://filename``           output of job "jobN", location filled in by
+                              the Scheduler once it knows where jobN ran
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class UriError(ValueError):
+    """Raised for malformed URIs."""
+
+
+_DEFAULT_PORTS = {"http": 80, "soap.tcp": 8081}
+
+
+@dataclass(frozen=True)
+class Uri:
+    scheme: str
+    host: str
+    port: Optional[int]
+    path: str
+
+    @classmethod
+    def parse(cls, text: str) -> "Uri":
+        if "://" not in text:
+            raise UriError(f"missing scheme in URI {text!r}")
+        scheme, rest = text.split("://", 1)
+        scheme = scheme.lower()
+        if not scheme:
+            raise UriError(f"empty scheme in URI {text!r}")
+        if scheme not in _DEFAULT_PORTS:
+            # Non-network schemes (local://, <jobname>://) are opaque:
+            # everything after :// is the path.
+            return cls(scheme=scheme, host="", port=None, path=rest)
+        if "/" in rest:
+            authority, path = rest.split("/", 1)
+            path = "/" + path
+        else:
+            authority, path = rest, "/"
+        if not authority:
+            raise UriError(f"missing host in URI {text!r}")
+        if ":" in authority:
+            host, port_text = authority.rsplit(":", 1)
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise UriError(f"bad port in URI {text!r}") from None
+            if not (0 < port < 65536):
+                raise UriError(f"port out of range in URI {text!r}")
+        else:
+            host, port = authority, _DEFAULT_PORTS.get(scheme)
+        if not host:
+            raise UriError(f"missing host in URI {text!r}")
+        return cls(scheme=scheme, host=host, port=port, path=path)
+
+    def unparse(self) -> str:
+        if self.scheme == "local" or self.scheme.startswith("job"):
+            return f"{self.scheme}://{self.path}"
+        port = f":{self.port}" if self.port is not None else ""
+        return f"{self.scheme}://{self.host}{port}{self.path}"
+
+    @property
+    def is_network(self) -> bool:
+        """True for URIs that name a (simulated) network endpoint."""
+        return self.scheme in ("http", "soap.tcp")
+
+    def __str__(self) -> str:
+        return self.unparse()

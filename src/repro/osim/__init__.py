@@ -1,0 +1,52 @@
+"""Simulated Windows machines — the testbed's operating-system substrate.
+
+The paper's grid nodes are 2004-era Windows desktops running IIS/ASP.NET
+(hosting the WSRF.NET web services) plus two *Windows services* (the
+paper is careful to distinguish these OS services from web services):
+ProcSpawn, which starts processes as a given user, and Processor
+Utilization, which reports load.  This package simulates that machine:
+
+- :class:`Machine` — one node: filesystem, user accounts, CPU scheduler,
+  IIS server, Windows services, X.509 identity;
+- :class:`SimFileSystem` — a per-machine hierarchical filesystem whose
+  files can hold real bytes or synthetic bulk content (so multi-GB
+  transfer benchmarks don't allocate memory);
+- :class:`CpuScheduler` / :class:`SimProcess` — fair-share CPU model with
+  per-process CPU-time accounting (the ES's CPUTime resource property);
+- :class:`ProgramRegistry` / :class:`Program` — simulated executables:
+  uploaded binary files name a Program whose behaviour (compute, read
+  inputs, write outputs, exit code) runs when spawned;
+- :class:`ProcSpawnService` — the WSRF.NET ProcSpawn Windows service;
+- :class:`IisServer` — request dispatch with a bounded worker pool,
+  standing in for the ASP.NET worker process of paper Fig. 1.
+"""
+
+from repro.osim.params import MachineParams
+from repro.osim.filesystem import FileContent, FsError, SimFileSystem
+from repro.osim.users import AuthenticationError, UserAccounts
+from repro.osim.cpu import CpuScheduler, ProcessState, SimProcess
+from repro.osim.programs import Program, ProgramContext, ProgramRegistry
+from repro.osim.winservice import WindowsService
+from repro.osim.procspawn import ProcSpawnService, SpawnError
+from repro.osim.iis import IisServer
+from repro.osim.machine import Machine
+
+__all__ = [
+    "AuthenticationError",
+    "CpuScheduler",
+    "FileContent",
+    "FsError",
+    "IisServer",
+    "Machine",
+    "MachineParams",
+    "ProcSpawnService",
+    "ProcessState",
+    "Program",
+    "ProgramContext",
+    "ProgramRegistry",
+    "SimFileSystem",
+    "SimProcess",
+    "SpawnError",
+    "UserAccounts",
+    "WindowsService",
+]

@@ -1,0 +1,68 @@
+"""One simulated Windows machine, assembled from the substrate parts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net import Network
+from repro.osim.cpu import CpuScheduler
+from repro.osim.filesystem import SimFileSystem
+from repro.osim.iis import IisServer
+from repro.osim.params import MachineParams
+from repro.osim.procspawn import ProcSpawnService
+from repro.osim.programs import ProgramRegistry
+from repro.osim.users import UserAccounts
+
+#: IIS listens here; matches the http default port
+HTTP_PORT = 80
+#: WSE TCP listeners (the client's file server; optional service endpoints)
+SOAPTCP_PORT = 8081
+
+
+class Machine:
+    """A campus-grid node: OS + IIS + Windows services + network identity.
+
+    Construction wires the machine onto the network fabric, starts IIS on
+    port 80 and installs the ProcSpawn Windows service.  X.509 identity
+    (``keys``/``cert``) is attached by the testbed when a CA is in play.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        params: Optional[MachineParams] = None,
+        programs: Optional[ProgramRegistry] = None,
+    ) -> None:
+        self.network = network
+        self.env = network.env
+        self.name = name
+        self.params = params or MachineParams()
+        self.host = network.add_host(name)
+        self.fs = SimFileSystem(name)
+        self.users = UserAccounts()
+        self.cpu = CpuScheduler(self.env, cores=self.params.cores, speed=self.params.cpu_speed)
+        self.programs = programs if programs is not None else ProgramRegistry()
+        self.iis = IisServer(self)
+        self.host.bind(HTTP_PORT, self.iis)
+        self.procspawn = ProcSpawnService(self)
+        self.procspawn.start()
+        # WS-Security identity, set by Testbed.enroll_machine.
+        self.keys = None
+        self.cert = None
+
+    # -- conveniences -------------------------------------------------------------
+
+    def service_url(self, service_path: str, scheme: str = "http") -> str:
+        port = HTTP_PORT if scheme == "http" else SOAPTCP_PORT
+        return f"{scheme}://{self.name}:{port}/{service_path.strip('/')}"
+
+    def utilization(self) -> float:
+        return self.cpu.utilization()
+
+    def db_delay(self):
+        """Coroutine: one local database access (state load or save)."""
+        return self.env.timeout(self.params.db_access_s)
+
+    def __repr__(self) -> str:
+        return f"<Machine {self.name!r} speed={self.params.cpu_speed}>"

@@ -1,0 +1,28 @@
+"""Machine calibration constants (2004-era Windows desktop defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    #: relative CPU speed (1.0 = baseline ~2 GHz P4); heterogeneity across
+    #: the campus grid is expressed by varying this factor
+    cpu_speed: float = 1.0
+    #: number of cores (2004 desktops: one)
+    cores: int = 1
+    #: installed RAM in MB (reported by the Node Info service)
+    ram_mb: int = 512
+    #: one database access (WS-Resource state load or save) — MSDE on the
+    #: same box, indexed point query
+    db_access_s: float = 0.0008
+    #: CreateProcessAsUser + profile load (ProcSpawn's launch cost)
+    proc_spawn_s: float = 0.050
+    #: IIS/ASP.NET per-request dispatch overhead (routing, context setup)
+    iis_dispatch_s: float = 0.0010
+    #: ASP.NET worker-process thread pool size (the 1.1-era default of
+    #: 25 worker threads per CPU; services that call back into their own
+    #: IIS — ES -> FSS on one box — deadlock with small pools, exactly
+    #: the classic ASP.NET re-entrancy hazard)
+    iis_workers: int = 25

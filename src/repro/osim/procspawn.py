@@ -1,0 +1,118 @@
+"""The ProcSpawn Windows service.
+
+"When a WS-Resource involves a process, the act of creating a new
+WS-Resource includes using WSRF.NET's process launcher Windows Service
+to start a new process as a particular user."  ProcSpawn authenticates
+the username/password, resolves the uploaded binary to a registered
+:class:`~repro.osim.programs.Program`, charges the CreateProcessAsUser
+launch cost and runs the program's behaviour as a simulated process.
+Exit (or kill) fires the process's ``done`` event, which is how the
+Execution Service learns the exit code (paper Fig. 3, step 10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.osim.cpu import ProcessState, SimProcess
+from repro.osim.programs import ProgramContext
+from repro.osim.users import AuthenticationError
+from repro.osim.winservice import WindowsService
+from repro.sim import Interrupt, ProcessKilled
+
+
+class SpawnError(Exception):
+    """Authentication failure, missing binary, unknown program."""
+
+
+class ProcSpawnService(WindowsService):
+    service_name = "WSRF.NET ProcSpawn"
+
+    def __init__(self, machine) -> None:
+        super().__init__(machine)
+        self.processes: List[SimProcess] = []
+
+    def spawn(
+        self,
+        binary_path: str,
+        args: List[str],
+        username: str,
+        password: str,
+        working_dir: str,
+    ):
+        """Coroutine: start the binary as *username*; returns a SimProcess.
+
+        The returned process is already RUNNING; await ``process.done``
+        for the exit code.
+        """
+        self.require_running()
+        machine = self.machine
+        self._authenticate(username, password)
+        if not machine.fs.is_dir(working_dir):
+            raise SpawnError(f"working directory {working_dir!r} does not exist")
+        try:
+            binary = machine.fs.read_file(binary_path)
+        except Exception as exc:
+            raise SpawnError(f"cannot read binary {binary_path!r}: {exc}") from exc
+        try:
+            program = machine.programs.resolve_binary(binary)
+        except (KeyError, ValueError) as exc:
+            raise SpawnError(str(exc)) from exc
+
+        # CreateProcessAsUser + profile load.
+        yield machine.env.timeout(machine.params.proc_spawn_s)
+
+        process = SimProcess(machine.env, binary_path, args, username, working_dir)
+        self.processes.append(process)
+        ctx = ProgramContext(machine, process)
+
+        def runner(env):
+            try:
+                result = yield from _as_generator(program.behavior, ctx)
+            except Interrupt:
+                process._finish(ProcessState.KILLED, -1)
+                return
+            exit_code = result if isinstance(result, int) else 0
+            process._finish(ProcessState.EXITED, exit_code)
+
+        runner_proc = machine.env.process(runner(machine.env))
+        process._runner = runner_proc
+
+        # A crash in the program's behaviour becomes a nonzero exit, not a
+        # simulator failure (real jobs segfault; testbeds survive).
+        def absorb(ev):
+            if not ev.ok and not isinstance(ev.value, ProcessKilled):
+                ev._defused = True
+                process._finish(ProcessState.EXITED, 1)
+            elif not ev.ok:
+                ev._defused = True
+
+        runner_proc.add_callback(absorb)
+        return process
+
+    def _authenticate(self, username: str, password: str) -> None:
+        """Password authentication (CreateProcessAsUser semantics).
+
+        The GT4 fork service overrides this: there the container has
+        already authenticated the grid credential and mapped it to a
+        local account, so only account existence is checked.
+        """
+        try:
+            self.machine.users.authenticate(username, password)
+        except AuthenticationError as exc:
+            raise SpawnError(str(exc)) from exc
+
+    def find(self, pid: int) -> Optional[SimProcess]:
+        for process in self.processes:
+            if process.pid == pid:
+                return process
+        return None
+
+
+def _as_generator(behavior, ctx):
+    """Run *behavior*; supports plain functions and generator functions."""
+    result = behavior(ctx)
+    if hasattr(result, "send"):
+        value = yield from result
+        return value
+    return result

@@ -1,0 +1,59 @@
+"""Per-machine user accounts.
+
+§4.2: jobs run "as a particular user"; the request carries a
+username/password which ProcSpawn validates before CreateProcessAsUser.
+The paper anticipates mapping grid credentials to local accounts "in the
+future" — :meth:`UserAccounts.map_grid_credential` implements that
+future-work hook (used by the extended examples).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+
+class AuthenticationError(Exception):
+    """Unknown user or wrong password."""
+
+
+def _hash(password: str, salt: str) -> str:
+    return hashlib.sha256(f"{salt}:{password}".encode()).hexdigest()
+
+
+class UserAccounts:
+    """Username → salted password hash, plus grid-credential mappings."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, str] = {}
+        self._grid_map: Dict[str, str] = {}
+
+    def add_user(self, username: str, password: str) -> None:
+        if not username:
+            raise ValueError("empty username")
+        self._accounts[username] = _hash(password, username)
+
+    def remove_user(self, username: str) -> None:
+        self._accounts.pop(username, None)
+        self._grid_map = {k: v for k, v in self._grid_map.items() if v != username}
+
+    def exists(self, username: str) -> bool:
+        return username in self._accounts
+
+    def authenticate(self, username: str, password: str) -> str:
+        """Return the username on success; raise otherwise."""
+        stored = self._accounts.get(username)
+        if stored is None or stored != _hash(password, username):
+            raise AuthenticationError(f"authentication failed for {username!r}")
+        return username
+
+    # -- grid-credential mapping (the paper's future work) -----------------------
+
+    def map_grid_credential(self, subject_dn: str, username: str) -> None:
+        """Map an X.509 subject to a local account (gridmap-style)."""
+        if username not in self._accounts:
+            raise ValueError(f"cannot map to unknown account {username!r}")
+        self._grid_map[subject_dn] = username
+
+    def resolve_grid_credential(self, subject_dn: str) -> Optional[str]:
+        return self._grid_map.get(subject_dn)

@@ -1,0 +1,45 @@
+"""Base class for simulated Windows services.
+
+The paper's footnote 1: "a Windows Service and a Web Service are
+different.  Windows Services are operating system services that deal
+only with the local machine and they are not typically accessible via
+the web."  Accordingly these objects are reachable only through their
+:class:`repro.osim.machine.Machine` — never via the network fabric.
+"""
+
+from __future__ import annotations
+
+
+class WindowsService:
+    """A locally-installed OS service with a start/stop lifecycle."""
+
+    service_name = "windows-service"
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.running = False
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.on_start()
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self.on_stop()
+
+    def on_start(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_stop(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def require_running(self) -> None:
+        if not self.running:
+            raise RuntimeError(
+                f"Windows service {self.service_name!r} on "
+                f"{self.machine.name!r} is not running"
+            )

@@ -1,0 +1,251 @@
+"""Event loop and primitive waitables for the simulation kernel."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+#: Events scheduled at the same instant are ordered by priority, then by
+#: insertion sequence.  URGENT is used internally for process resumption so
+#: that a process resumed by an already-triggered event runs before ordinary
+#: same-time events.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double-trigger, running a dead loop, ...)."""
+
+
+class Event:
+    """A one-shot waitable.
+
+    An event starts *pending*; exactly once it is either succeeded with a
+    value or failed with an exception.  Processes block on events by
+    yielding them; arbitrary callbacks may also be attached (the kernel
+    uses callbacks to resume processes).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        #: a failed event whose failure was never observed re-raises at the
+        #: end of the run unless defused (observed by a process or waitable)
+        self._defused = False
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (succeed/fail)."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Mirror another (triggered) event's outcome onto this one."""
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            other._defused = True
+            self.fail(other._value)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Attach *fn*; called with the event once it fires.
+
+        If the event has already been processed the callback runs
+        immediately (this keeps late subscribers correct).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        env._schedule(self, delay=delay)
+
+
+class Environment:
+    """The simulation event loop.
+
+    Owns simulated time (:attr:`now`, seconds as float) and the event heap.
+    ``run()`` executes events in (time, priority, insertion) order until the
+    heap is empty, a deadline passes, or a watched event triggers.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list = []
+        self._seq = 0
+        self._active_process = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self):
+        """The :class:`Process` currently executing, if any."""
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator):
+        """Spawn *generator* as a new simulated process."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events):
+        from repro.sim.waitables import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        from repro.sim.waitables import AnyOf
+
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain the heap), a number (advance to
+        that simulated time) or an :class:`Event` (run until it triggers,
+        returning its value).
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.triggered:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"run(until={deadline!r}) is in the past (now={self._now!r})"
+                )
+
+        stopped = False
+
+        if stop_event is not None:
+
+            def _stop(_ev: Event) -> None:
+                nonlocal stopped
+                stopped = True
+
+            stop_event.add_callback(_stop)
+
+        while self._heap and not stopped:
+            if self.peek() > deadline:
+                self._now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event): schedule drained before event triggered"
+                )
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+        if deadline != float("inf") and self._now < deadline:
+            self._now = deadline
+        return None

@@ -1,0 +1,138 @@
+"""Generator-based simulated processes."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.core import URGENT, Environment, Event, SimulationError
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class ProcessKilled(Exception):
+    """Failure value of a process terminated by :meth:`Process.kill`."""
+
+
+class Process(Event):
+    """A running generator; also a waitable that fires when it returns.
+
+    The generator yields :class:`Event` objects to block; when the awaited
+    event succeeds, its value is sent back into the generator, and when it
+    fails, the exception is thrown in (so service code can use ordinary
+    ``try/except`` around ``yield``).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: Environment, generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current instant.
+        boot = Event(env)
+        boot._value = None
+        boot._ok = True
+        boot.callbacks.append(self._resume)
+        env._schedule(boot, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, trigger: Event) -> None:
+        env = self.env
+        prev, env._active_process = env._active_process, self
+        self._target = None
+        try:
+            while True:
+                try:
+                    if trigger._ok:
+                        target = self._generator.send(trigger._value)
+                    else:
+                        trigger._defused = True
+                        target = self._generator.throw(trigger._value)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    self.fail(exc)
+                    return
+
+                if not isinstance(target, Event):
+                    err = SimulationError(
+                        f"process {self.name!r} yielded a non-event: {target!r}"
+                    )
+                    # Deliver the misuse back into the generator so tests can
+                    # observe it, then fail the process if unhandled.
+                    trigger = Event(self.env)
+                    trigger._value = err
+                    trigger._ok = False
+                    continue
+                if target.env is not self.env:
+                    raise SimulationError("yielded an event from another environment")
+
+                if target.triggered and target.callbacks is None:
+                    # Already fully processed: resume synchronously.
+                    trigger = target
+                    continue
+                self._target = target
+                target.add_callback(self._resume)
+                return
+        finally:
+            env._active_process = prev
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever it awaits, then schedule a failing resume.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        hit = Event(self.env)
+        hit._value = Interrupt(cause)
+        hit._ok = False
+        hit._defused = True
+        hit.callbacks.append(self._resume)
+        self.env._schedule(hit, priority=URGENT)
+
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate the process immediately; it fails with ProcessKilled.
+
+        Unlike :meth:`interrupt`, the generator gets no chance to clean up
+        via ``except`` — ``GeneratorExit`` is raised at the suspension point
+        (running ``finally`` blocks), mirroring hard process termination.
+        """
+        if self.triggered:
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._generator.close()
+        exc = ProcessKilled(reason)
+        self._value = exc
+        self._ok = False
+        self._defused = True
+        self.env._schedule(self, priority=URGENT)

@@ -1,0 +1,70 @@
+"""Composite waitables: wait for all / any of a set of events."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.sim.core import Environment, Event
+
+
+class _Condition(Event):
+    """Shared machinery for AllOf/AnyOf.
+
+    Succeeds with an ordered dict ``{event: value}`` of the events that had
+    triggered (successfully) by the time the condition fired.  Fails if any
+    constituent event fails before the condition is met.
+    """
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: Environment, events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("events from multiple environments")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> Dict[Event, object]:
+        # A Timeout is "triggered" from creation (its outcome is fixed); only
+        # events whose callbacks have run have actually *fired* by now.
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev._ok:
+                ev._defused = True
+            return
+        if not ev._ok:
+            ev._defused = True
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when every constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._pending == 0
+
+
+class AnyOf(_Condition):
+    """Triggers when at least one constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._pending < len(self.events)

@@ -1,0 +1,22 @@
+"""SOAP 1.1 message layer.
+
+Envelopes are real XML: every message crossing the simulated network is
+serialized with :func:`repro.xmlx.to_string` and re-parsed on arrival, so
+header processing (WS-Addressing routing, WS-Security tokens, WSRF EPR
+resolution) happens against parsed documents exactly as in the paper's
+ASP.NET stack.
+
+Two message-exchange patterns, matching §4.1 of the paper:
+
+- request/response — ordinary web-method calls; the caller blocks until
+  the reply envelope arrives;
+- one-way — "closes the connection immediately after sending the
+  message", used for file-upload requests and notifications; distinct
+  from a void-returning method, which still sends an empty reply.
+"""
+
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.fault import SoapFault
+from repro.soap.types import from_typed_element, to_typed_element
+
+__all__ = ["SoapEnvelope", "SoapFault", "from_typed_element", "to_typed_element"]

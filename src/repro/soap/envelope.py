@@ -1,0 +1,101 @@
+"""SOAP envelope construction, serialization and parsing."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.wsa.headers import AddressingHeaders
+from repro.xmlx import NS, Element, QName, parse, to_string
+
+_ENVELOPE = QName(NS.SOAP, "Envelope")
+_HEADER = QName(NS.SOAP, "Header")
+_BODY = QName(NS.SOAP, "Body")
+
+
+class SoapEnvelope:
+    """One SOAP message: addressing headers, extra headers and a body.
+
+    ``body`` holds exactly one payload element (document/literal style —
+    the operation's wrapper element).  ``extra_headers`` carries
+    non-addressing blocks such as the WS-Security header of §4.2.
+    """
+
+    __slots__ = ("addressing", "extra_headers", "body")
+
+    def __init__(
+        self,
+        addressing: AddressingHeaders,
+        body: Element,
+        extra_headers: Optional[List[Element]] = None,
+    ) -> None:
+        self.addressing = addressing
+        self.body = body
+        self.extra_headers = list(extra_headers or [])
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_element(self) -> Element:
+        root = Element(_ENVELOPE)
+        header = root.subelement(_HEADER)
+        for block in self.addressing.to_header_elements():
+            header.append(block)
+        for block in self.extra_headers:
+            header.append(block)
+        root.subelement(_BODY).append(self.body)
+        return root
+
+    def serialize(self) -> str:
+        return to_string(self.to_element(), xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, root: Element) -> "SoapEnvelope":
+        if root.tag != _ENVELOPE:
+            raise ValueError(f"not a SOAP envelope: {root.tag}")
+        header = root.find(_HEADER)
+        body = root.find(_BODY)
+        if body is None or not body.children:
+            raise ValueError("SOAP envelope lacks a body payload")
+        if len(body.children) != 1:
+            raise ValueError("document/literal body must hold exactly one element")
+        header_blocks = list(header.children) if header is not None else []
+        addressing = AddressingHeaders.from_header_elements(header_blocks)
+        known = set()
+        for block in addressing.to_header_elements():
+            known.add(block.tag)
+        extra = [
+            block
+            for block in header_blocks
+            if block.tag.uri not in (NS.WSA,) and block.tag not in known
+        ]
+        return cls(addressing, body.children[0], extra_headers=extra)
+
+    @classmethod
+    def deserialize(cls, text: str) -> "SoapEnvelope":
+        return cls.from_element(parse(text))
+
+    # -- conveniences ------------------------------------------------------------
+
+    @property
+    def action(self) -> str:
+        return self.addressing.action
+
+    @property
+    def payload(self) -> Element:
+        return self.body
+
+    def find_header(self, tag) -> Optional[Element]:
+        want = tag if isinstance(tag, QName) else QName(tag)
+        for block in self.extra_headers:
+            if block.tag == want:
+                return block
+        return None
+
+    def wire_size(self) -> int:
+        """Serialized size in bytes (drives simulated transfer time)."""
+        return len(self.serialize().encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<SoapEnvelope action={self.addressing.action!r} "
+            f"to={self.addressing.to_epr.address!r}>"
+        )

@@ -1,0 +1,57 @@
+"""SOAP 1.1 faults."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.xmlx import NS, Element, QName
+
+_FAULT = QName(NS.SOAP, "Fault")
+
+
+class SoapFault(Exception):
+    """A SOAP fault, raisable service-side and re-raised client-side.
+
+    ``detail`` carries arbitrary elements — WS-BaseFaults (see
+    :mod:`repro.wsrf.basefaults`) serializes its structured fault type
+    there, which is how clients receive typed WSRF faults.
+    """
+
+    def __init__(
+        self,
+        code: str = "soap:Server",
+        reason: str = "",
+        detail: Optional[List[Element]] = None,
+    ) -> None:
+        super().__init__(reason or code)
+        self.code = code
+        self.reason = reason
+        self.detail = list(detail or [])
+
+    def to_element(self) -> Element:
+        # SOAP 1.1 uses unqualified faultcode/faultstring/detail children.
+        root = Element(_FAULT)
+        root.subelement("faultcode", text=self.code)
+        root.subelement("faultstring", text=self.reason)
+        if self.detail:
+            holder = root.subelement("detail")
+            for item in self.detail:
+                holder.append(item.copy())
+        return root
+
+    @classmethod
+    def is_fault(cls, element: Element) -> bool:
+        return element.tag == _FAULT
+
+    @classmethod
+    def from_element(cls, element: Element) -> "SoapFault":
+        if element.tag != _FAULT:
+            raise ValueError(f"not a soap:Fault: {element.tag}")
+        code = element.child_text("faultcode", "soap:Server") or "soap:Server"
+        reason = element.child_text("faultstring", "") or ""
+        detail_el = element.find("detail")
+        detail = [child.copy() for child in detail_el.children] if detail_el is not None else []
+        return cls(code=code, reason=reason, detail=detail)
+
+    def __repr__(self) -> str:
+        return f"SoapFault(code={self.code!r}, reason={self.reason!r})"

@@ -1,0 +1,15 @@
+"""WS-Addressing (the 2004/03 member submission the paper relies on).
+
+WSRF's central convention — the *implied resource pattern* — rides on
+WS-Addressing: an :class:`EndpointReference` (EPR) names a WS-Resource by
+combining a service ``Address`` with opaque ``ReferenceProperties``; when a
+client invokes the service, the EPR's address becomes the SOAP ``<To>``
+header and each reference property is copied into the header block, which
+is how the WSRF.NET wrapper (our :mod:`repro.wsrf.tooling`) knows which
+resource's state to load.
+"""
+
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import AddressingHeaders, make_message_id
+
+__all__ = ["AddressingHeaders", "EndpointReference", "make_message_id"]

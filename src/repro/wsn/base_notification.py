@@ -1,0 +1,338 @@
+"""WS-BaseNotification: Subscribe, Notify, and subscriptions as resources."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.soap import SoapFault
+from repro.wsa import EndpointReference
+from repro.wsn.topics import CONCRETE_DIALECT, TopicExpression, TopicExpressionError
+from repro.wsrf.basefaults import BaseFault
+from repro.wsrf.porttypes import SpecPortType
+from repro.xmlx import NS, Element, QName
+
+SUBSCRIBE = QName(NS.WSNT, "Subscribe")
+NOTIFY = QName(NS.WSNT, "Notify")
+PAUSE_SUBSCRIPTION = QName(NS.WSNT, "PauseSubscription")
+RESUME_SUBSCRIPTION = QName(NS.WSNT, "ResumeSubscription")
+
+_CONSUMER_REF = QName(NS.WSNT, "ConsumerReference")
+_TOPIC_EXPR = QName(NS.WSNT, "TopicExpression")
+_SUBSCRIPTION_REF = QName(NS.WSNT, "SubscriptionReference")
+_NOTIFICATION_MESSAGE = QName(NS.WSNT, "NotificationMessage")
+_TOPIC = QName(NS.WSNT, "Topic")
+_PRODUCER_REF = QName(NS.WSNT, "ProducerReference")
+_MESSAGE = QName(NS.WSNT, "Message")
+
+# State keys for subscription resources (stored in the producer's store).
+_K_CONSUMER = QName(NS.WSNT, "consumer")
+_K_EXPR = QName(NS.WSNT, "expression")
+_K_DIALECT = QName(NS.WSNT, "dialect")
+_K_PAUSED = QName(NS.WSNT, "paused")
+
+
+class SubscribeCreationFailedFault(BaseFault):
+    FAULT_QNAME = QName(NS.WSNT, "SubscribeCreationFailedFault")
+
+
+class PauseFailedFault(BaseFault):
+    FAULT_QNAME = QName(NS.WSNT, "PauseFailedFault")
+
+
+# -- message construction/parsing (shared by clients and services) -----------------
+
+
+def build_subscribe_body(
+    consumer_epr: EndpointReference,
+    topic_expression: str,
+    dialect: Optional[str] = None,
+) -> Element:
+    body = Element(SUBSCRIBE)
+    body.append(consumer_epr.to_xml(_CONSUMER_REF))
+    expr = body.subelement(_TOPIC_EXPR, text=topic_expression)
+    expr.set("Dialect", dialect or CONCRETE_DIALECT)
+    return body
+
+
+def build_notify_body(
+    topic_path: str,
+    payload: Element,
+    producer_epr: Optional[EndpointReference] = None,
+) -> Element:
+    body = Element(NOTIFY)
+    message = body.subelement(_NOTIFICATION_MESSAGE)
+    topic = message.subelement(_TOPIC, text=topic_path)
+    topic.set("Dialect", CONCRETE_DIALECT)
+    if producer_epr is not None:
+        message.append(producer_epr.to_xml(_PRODUCER_REF))
+    message.subelement(_MESSAGE).append(payload.copy())
+    return body
+
+
+def parse_notify_body(
+    body: Element,
+) -> List[Tuple[str, Element, Optional[EndpointReference]]]:
+    """Returns [(topic_path, payload, producer_epr), ...]."""
+    out = []
+    for message in body.findall(_NOTIFICATION_MESSAGE):
+        topic_el = message.find(_TOPIC)
+        payload_holder = message.find(_MESSAGE)
+        if topic_el is None or payload_holder is None or not payload_holder.children:
+            raise SoapFault("soap:Client", "malformed NotificationMessage")
+        producer_el = message.find(_PRODUCER_REF)
+        producer = (
+            EndpointReference.from_xml(producer_el) if producer_el is not None else None
+        )
+        out.append(
+            (topic_el.full_text().strip(), payload_holder.children[0], producer)
+        )
+    return out
+
+
+def fire_and_forget(env, client, target_epr, body, category="notify"):
+    """Send a one-way message from a detached process, absorbing failures.
+
+    One-way semantics (§4.1): the sender gets no delivery guarantee.  An
+    unreachable consumer (host down, listener gone, partition) must not
+    crash the producer — the message is simply lost.
+    """
+
+    def send(env):
+        try:
+            yield from client.invoke(target_epr, body, category=category, one_way=True)
+        except Exception:
+            pass  # lost notification: fire-and-forget semantics
+
+    return env.process(send(env))
+
+
+# -- producer state ------------------------------------------------------------------
+
+
+@dataclass
+class Subscription:
+    resource_id: str
+    consumer: EndpointReference
+    expression: TopicExpression
+    paused: bool = False
+
+
+class NotificationProducer:
+    """Wrapper-side subscription registry + fan-out engine.
+
+    Subscriptions are persisted as WS-Resources in the producer's own
+    store (so lifetime operations work on them) and mirrored in memory
+    for cheap matching on every publish.
+    """
+
+    def __init__(self, wrapper) -> None:
+        self.wrapper = wrapper
+        self.subscriptions: Dict[str, Subscription] = {}
+        self._counter = itertools.count(1)
+        self.notifications_sent = 0
+        #: distinct topic paths ever published (advertised via the
+        #: wstop:Topic resource property, bounded to keep state sane)
+        self.topics_seen: set = set()
+        self._topics_cap = 1000
+        #: callbacks run after any subscription change (add/pause/destroy);
+        #: used by brokers for demand-based publishing
+        self.on_subscriptions_changed: list = []
+        wrapper.publish_hook = self.publish
+        wrapper.on_resource_destroyed.append(self._forget)
+        wrapper.notification_producer = self
+
+    def _forget(self, resource_id: str) -> None:
+        if self.subscriptions.pop(resource_id, None) is not None:
+            self._changed()
+
+    def _changed(self) -> None:
+        for callback in self.on_subscriptions_changed:
+            callback()
+
+    def add_subscription(
+        self, consumer: EndpointReference, expression: TopicExpression
+    ) -> str:
+        rid = f"sub-{next(self._counter):05d}"
+        self.wrapper.store.create(
+            self.wrapper.service_name,
+            rid,
+            {
+                _K_CONSUMER: consumer,
+                _K_EXPR: expression.expression,
+                _K_DIALECT: expression.dialect,
+                _K_PAUSED: False,
+            },
+        )
+        self.subscriptions[rid] = Subscription(rid, consumer, expression)
+        self._changed()
+        return rid
+
+    def set_paused(self, resource_id: str, paused: bool) -> None:
+        sub = self.subscriptions.get(resource_id)
+        if sub is None:
+            raise PauseFailedFault(
+                description=f"no subscription {resource_id!r}",
+                timestamp=self.wrapper.env.now,
+            )
+        sub.paused = paused
+        state = self.wrapper.store.load(self.wrapper.service_name, resource_id)
+        state[_K_PAUSED] = paused
+        self.wrapper.store.save(self.wrapper.service_name, resource_id, state)
+        self._changed()
+
+    def active_interest_in(self, topic_root: str) -> bool:
+        """True if any unpaused subscription could match under *root*.
+
+        Used for demand-based publishing: a subscription is relevant if
+        its expression matches the root itself or its own first segment
+        is the root or a wildcard (an approximation of the spec's
+        topic-space intersection, documented in repro.wsn.broker).
+        """
+        for sub in self.subscriptions.values():
+            if sub.paused:
+                continue
+            first = sub.expression.expression.split("/")[0]
+            if sub.expression.matches(topic_root) or first in ("*", "**", topic_root):
+                return True
+        return False
+
+    def publish(self, topic_path: str, payload: Element) -> int:
+        """Fan out one event; returns the number of Notifies dispatched.
+
+        Delivery is asynchronous: each matching subscriber gets a one-way
+        wsnt:Notify sent by a detached simulation process (the publisher
+        does not block on consumers, per §4.1's one-way semantics).
+        """
+        wrapper = self.wrapper
+        if len(self.topics_seen) < self._topics_cap:
+            self.topics_seen.add(topic_path)
+        body = build_notify_body(topic_path, payload, wrapper.service_epr())
+        raw_targets = [
+            sub.consumer
+            for sub in self.subscriptions.values()
+            if not sub.paused and sub.expression.matches(topic_path)
+        ]
+        env = wrapper.env
+        client = wrapper.client
+        for consumer in raw_targets:
+            fire_and_forget(env, client, consumer, body)
+        self.notifications_sent += len(raw_targets)
+        return len(raw_targets)
+
+
+def attach_notification_producer(wrapper) -> NotificationProducer:
+    """Enable publish/subscribe on a deployed wrapper service."""
+    existing = getattr(wrapper, "notification_producer", None)
+    if existing is not None:
+        return existing
+    return NotificationProducer(wrapper)
+
+
+# -- port types ----------------------------------------------------------------------
+
+
+TOPIC_RP = QName(NS.WSTOP, "Topic")
+
+
+def _advertised_topics(pt) -> list:
+    producer = getattr(pt.wrapper, "notification_producer", None)
+    if producer is None:
+        return []
+    return sorted(producer.topics_seen)
+
+
+class NotificationProducerPortType(SpecPortType):
+    """wsnt:Subscribe — create a subscription WS-Resource.
+
+    Also contributes the WS-Topics ``Topic`` resource property: the
+    topic paths this producer has published, so clients can discover
+    what to subscribe to (the spec's topic-space advertisement).
+    """
+
+    OPERATIONS = {SUBSCRIBE: "subscribe"}
+    OPTIONAL_RESOURCE_OPS = frozenset({SUBSCRIBE})
+
+    @classmethod
+    def provides_rps(cls):
+        return {TOPIC_RP: _advertised_topics}
+
+    def subscribe(self, request: Element) -> Element:
+        producer = getattr(self.wrapper, "notification_producer", None)
+        if producer is None:
+            producer = attach_notification_producer(self.wrapper)
+        consumer_el = request.find(_CONSUMER_REF)
+        expr_el = request.find(_TOPIC_EXPR)
+        if consumer_el is None or expr_el is None:
+            raise SubscribeCreationFailedFault(
+                description="Subscribe needs ConsumerReference and TopicExpression",
+                timestamp=self.wrapper.env.now,
+            )
+        try:
+            expression = TopicExpression(
+                expr_el.full_text(), expr_el.get("Dialect", CONCRETE_DIALECT)
+            )
+        except TopicExpressionError as exc:
+            raise SubscribeCreationFailedFault(
+                description=str(exc), timestamp=self.wrapper.env.now
+            ) from exc
+        consumer = EndpointReference.from_xml(consumer_el)
+        rid = producer.add_subscription(consumer, expression)
+        response = Element(QName(NS.WSNT, "SubscribeResponse"))
+        response.append(self.wrapper.epr_for(rid).to_xml(_SUBSCRIPTION_REF))
+        return response
+
+
+class SubscriptionManagerPortType(SpecPortType):
+    """Pause/Resume on subscription resources."""
+
+    OPERATIONS = {
+        PAUSE_SUBSCRIPTION: "pause",
+        RESUME_SUBSCRIPTION: "resume",
+    }
+
+    def _producer(self):
+        producer = getattr(self.wrapper, "notification_producer", None)
+        if producer is None:
+            raise PauseFailedFault(
+                description="service has no notification producer",
+                timestamp=self.wrapper.env.now,
+            )
+        return producer
+
+    def pause(self, request: Element) -> Element:
+        self._producer().set_paused(self.instance.wsrf.resource_id, True)
+        return Element(QName(NS.WSNT, "PauseSubscriptionResponse"))
+
+    def resume(self, request: Element) -> Element:
+        self._producer().set_paused(self.instance.wsrf.resource_id, False)
+        return Element(QName(NS.WSNT, "ResumeSubscriptionResponse"))
+
+
+class NotificationConsumerPortType(SpecPortType):
+    """wsnt:Notify — deliver messages to the author's handler.
+
+    The author's service defines::
+
+        def on_notification(self, topic, payload, producer_epr):
+            ...
+
+    which may be a plain method or a simulation coroutine.
+    """
+
+    OPERATIONS = {NOTIFY: "notify"}
+    OPTIONAL_RESOURCE_OPS = frozenset({NOTIFY})
+
+    def notify(self, request: Element):
+        handler = getattr(self.instance, "on_notification", None)
+        if handler is None:
+            raise SoapFault(
+                "soap:Client",
+                f"{type(self.instance).__name__} does not consume notifications",
+            )
+        for topic, payload, producer in parse_notify_body(request):
+            result = handler(topic, payload, producer)
+            if hasattr(result, "send"):
+                yield from result
+        return Element(QName(NS.WSNT, "NotifyResponse"))

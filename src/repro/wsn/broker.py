@@ -1,0 +1,196 @@
+"""WS-BrokeredNotification: the NotificationBroker service of §4.3.
+
+"Notification Brokers ... are used when notification producers and
+consumers can not or do not care to have direct knowledge of each
+other" and serve as "a multicast mechanism": producers send one Notify
+to the broker; the broker re-publishes to every subscriber whose topic
+expression matches.  The Scheduler subscribes both itself and the
+client's listener to a job set's topic (§4.6 step 1); Execution
+Services broadcast job events through the broker (steps 9-10).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.soap import SoapFault
+from repro.wsa import EndpointReference
+from repro.wsn.base_notification import (
+    NotificationConsumerPortType,
+    NotificationProducerPortType,
+    SubscriptionManagerPortType,
+    attach_notification_producer,
+    fire_and_forget,
+)
+from repro.wsrf.attributes import (
+    ResourceProperty,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+)
+from repro.wsrf.lifetime import ImmediateResourceTerminationPortType
+from repro.wsrf.porttypes import GetResourcePropertyPortType, SpecPortType
+from repro.xmlx import NS, Element, QName
+
+REGISTER_PUBLISHER = QName(NS.WSBN, "RegisterPublisher")
+PAUSE_PUBLISHING = QName(NS.WSBN, "PausePublishing")
+RESUME_PUBLISHING = QName(NS.WSBN, "ResumePublishing")
+
+
+class RegisterPublisherPortType(SpecPortType):
+    """wsbn:RegisterPublisher — record a producer with the broker.
+
+    With ``<Demand>true</Demand>`` and a ``<Topic>`` root, the broker
+    manages the publisher's output: it sends one-way PausePublishing
+    when no unpaused subscription could match under the topic root, and
+    ResumePublishing when interest (re)appears — WS-BrokeredNotification
+    demand-based publishing.  (Topic-space intersection is approximated
+    by root/first-segment matching; see NotificationProducer.
+    active_interest_in.)
+    """
+
+    OPERATIONS = {REGISTER_PUBLISHER: "register_publisher"}
+    OPTIONAL_RESOURCE_OPS = frozenset({REGISTER_PUBLISHER})
+
+    def register_publisher(self, request: Element) -> Element:
+        ref = request.find(QName(NS.WSBN, "PublisherReference"))
+        if ref is None:
+            raise SoapFault("soap:Client", "RegisterPublisher lacks a reference")
+        epr = EndpointReference.from_xml(ref)
+        registry = _publishers(self.wrapper)
+        if epr not in registry:
+            registry.append(epr)
+        demand = (request.child_text(QName(NS.WSBN, "Demand"), "") or "").strip()
+        if demand == "true":
+            topic_root = (request.child_text(QName(NS.WSBN, "Topic"), "") or "").strip()
+            if not topic_root:
+                raise SoapFault(
+                    "soap:Client", "demand registration needs a Topic root"
+                )
+            manager = _demand_manager(self.wrapper)
+            manager.register(epr, topic_root)
+        return Element(QName(NS.WSBN, "RegisterPublisherResponse"))
+
+
+class _DemandManager:
+    """Broker-side demand evaluation + pause/resume signalling."""
+
+    def __init__(self, wrapper) -> None:
+        self.wrapper = wrapper
+        #: {publisher EPR: (topic_root, currently_told_to_publish)}
+        self.entries = {}
+        producer = attach_notification_producer(wrapper)
+        producer.on_subscriptions_changed.append(self.reevaluate)
+
+    def register(self, epr, topic_root: str) -> None:
+        self.entries[epr] = [topic_root, None]  # unknown state yet
+        self.reevaluate()
+
+    def reevaluate(self) -> None:
+        producer = getattr(self.wrapper, "notification_producer", None)
+        if producer is None:
+            return
+        for epr, entry in self.entries.items():
+            topic_root, told = entry
+            want = producer.active_interest_in(topic_root)
+            if want == told:
+                continue
+            entry[1] = want
+            body = Element(RESUME_PUBLISHING if want else PAUSE_PUBLISHING)
+            body.subelement(QName(NS.WSBN, "Topic"), text=topic_root)
+            fire_and_forget(
+                self.wrapper.env, self.wrapper.client, epr, body,
+                category="demand-control",
+            )
+
+
+def _demand_manager(wrapper) -> _DemandManager:
+    manager = getattr(wrapper, "demand_manager", None)
+    if manager is None:
+        manager = _DemandManager(wrapper)
+        wrapper.demand_manager = manager
+    return manager
+
+
+class DemandPublisherPortType(SpecPortType):
+    """Publisher-side Pause/ResumePublishing control surface.
+
+    Import this into a producer service and consult
+    ``wrapper.publishing_paused`` (a set of paused topic roots) before
+    publishing.
+    """
+
+    OPERATIONS = {
+        PAUSE_PUBLISHING: "pause_publishing",
+        RESUME_PUBLISHING: "resume_publishing",
+    }
+    OPTIONAL_RESOURCE_OPS = frozenset({PAUSE_PUBLISHING, RESUME_PUBLISHING})
+
+    def _paused_set(self) -> set:
+        if not hasattr(self.wrapper, "publishing_paused"):
+            self.wrapper.publishing_paused = set()
+        return self.wrapper.publishing_paused
+
+    def pause_publishing(self, request: Element) -> Element:
+        root = (request.child_text(QName(NS.WSBN, "Topic"), "") or "").strip()
+        self._paused_set().add(root)
+        return Element(QName(NS.WSBN, "PausePublishingResponse"))
+
+    def resume_publishing(self, request: Element) -> Element:
+        root = (request.child_text(QName(NS.WSBN, "Topic"), "") or "").strip()
+        self._paused_set().discard(root)
+        return Element(QName(NS.WSBN, "ResumePublishingResponse"))
+
+
+def _publishers(wrapper) -> List[EndpointReference]:
+    if not hasattr(wrapper, "registered_publishers"):
+        wrapper.registered_publishers = []
+    return wrapper.registered_publishers
+
+
+@WSRFPortType(
+    NotificationProducerPortType,
+    NotificationConsumerPortType,
+    SubscriptionManagerPortType,
+    RegisterPublisherPortType,
+    GetResourcePropertyPortType,
+    ImmediateResourceTerminationPortType,
+)
+class NotificationBrokerService(ServiceSkeleton):
+    """The testbed's single broker: consume, then multicast.
+
+    All real state (subscriptions) lives in the producer attachment; the
+    broker's own WS-Resources are its subscriptions, so PauseSubscription
+    and Destroy work on them directly.
+    """
+
+    SERVICE_NS = NS.WSBN
+
+    def on_notification(self, topic, payload, producer):
+        """Inbound Notify (consumer side) → republish to subscribers."""
+        self.wsrf.wrapper.publish(topic, payload)
+
+    @ResourceProperty
+    @property
+    def RegisteredPublishers(self):
+        return [epr.to_xml() for epr in _publishers(self.wsrf.wrapper)]
+
+    @ResourceProperty
+    @property
+    def SubscriptionCount(self) -> int:
+        producer = getattr(self.wsrf.wrapper, "notification_producer", None)
+        return len(producer.subscriptions) if producer is not None else 0
+
+    @WebMethod(requires_resource=False)
+    def Ping(self) -> str:
+        """Liveness probe used by testbed assembly."""
+        return "broker-alive"
+
+
+def deploy_broker(machine, path: str = "NotificationBroker"):
+    """Deploy a broker and pre-attach its producer engine."""
+    from repro.wsrf.tooling import deploy
+
+    wrapper = deploy(NotificationBrokerService, machine, path)
+    attach_notification_producer(wrapper)
+    return wrapper

@@ -1,0 +1,100 @@
+"""WS-Topics: topic paths and the three expression dialects.
+
+A *topic path* is a ``/``-separated string, e.g.
+``jobset-0007/job2/status``.  The Scheduler "generates a unique topic
+name for events related to this job set" (§4.6); child segments organize
+the event kinds beneath it.
+
+Dialects (URIs follow the 2004/06 draft):
+
+- **Simple** — a single root topic; matches that root and everything
+  beneath it;
+- **Concrete** — a full path; matches exactly that topic;
+- **Full** — a path pattern where ``*`` matches exactly one segment and
+  ``**`` matches any number of trailing/intervening segments (this
+  stands in for the draft's XPath-flavoured wildcard syntax).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlx import NS
+
+SIMPLE_DIALECT = f"{NS.WSTOP}/TopicExpression/Simple"
+CONCRETE_DIALECT = f"{NS.WSTOP}/TopicExpression/Concrete"
+FULL_DIALECT = f"{NS.WSTOP}/TopicExpression/Full"
+
+_DIALECTS = (SIMPLE_DIALECT, CONCRETE_DIALECT, FULL_DIALECT)
+
+
+class TopicExpressionError(ValueError):
+    """Unknown dialect or malformed expression."""
+
+
+def _split(path: str) -> List[str]:
+    parts = [p for p in path.strip().split("/") if p]
+    if not parts:
+        raise TopicExpressionError(f"empty topic path {path!r}")
+    return parts
+
+
+class TopicExpression:
+    """A subscription's statement of interest, evaluable against paths."""
+
+    __slots__ = ("dialect", "expression", "_segments")
+
+    def __init__(self, expression: str, dialect: str = CONCRETE_DIALECT) -> None:
+        if dialect not in _DIALECTS:
+            raise TopicExpressionError(f"unknown topic dialect {dialect!r}")
+        self.dialect = dialect
+        self.expression = expression.strip()
+        self._segments = _split(self.expression)
+        if dialect == SIMPLE_DIALECT and len(self._segments) != 1:
+            raise TopicExpressionError(
+                f"Simple dialect takes a single root topic, got {expression!r}"
+            )
+        if dialect != FULL_DIALECT and any(
+            seg in ("*", "**") for seg in self._segments
+        ):
+            raise TopicExpressionError(
+                f"wildcards require the Full dialect: {expression!r}"
+            )
+
+    def matches(self, topic_path: str) -> bool:
+        path = _split(topic_path)
+        if self.dialect == SIMPLE_DIALECT:
+            return path[0] == self._segments[0]
+        if self.dialect == CONCRETE_DIALECT:
+            return path == self._segments
+        return _match_full(self._segments, path)
+
+    def __repr__(self) -> str:
+        short = self.dialect.rsplit("/", 1)[-1]
+        return f"TopicExpression({self.expression!r}, {short})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TopicExpression):
+            return NotImplemented
+        return self.dialect == other.dialect and self.expression == other.expression
+
+    def __hash__(self) -> int:
+        return hash((self.dialect, self.expression))
+
+
+def _match_full(pattern: List[str], path: List[str]) -> bool:
+    """Segment matcher with ``*`` (one) and ``**`` (any number)."""
+    if not pattern:
+        return not path
+    head, rest = pattern[0], pattern[1:]
+    if head == "**":
+        # Greedily try consuming 0..len(path) segments.
+        for skip in range(len(path) + 1):
+            if _match_full(rest, path[skip:]):
+                return True
+        return False
+    if not path:
+        return False
+    if head == "*" or head == path[0]:
+        return _match_full(rest, path[1:])
+    return False

@@ -1,0 +1,87 @@
+"""The WSRF core — this reproduction's equivalent of WSRF.NET.
+
+The paper's toolkit transforms attribute-annotated .NET web services
+into WSRF-compliant services (Fig. 1) with database-backed WS-Resource
+state.  This package mirrors each piece:
+
+=====================  =========================================================
+paper (WSRF.NET)       here
+=====================  =========================================================
+``[Resource]``         :class:`Resource` descriptor on a service field
+``[ResourceProperty]`` :func:`ResourceProperty` on a Python property
+``[WebMethod]``        :func:`WebMethod` on a service method
+``[WSRFPortType(…)]``  :func:`WSRFPortType` class decorator
+``ServiceSkeleton``    :class:`ServiceSkeleton` base class
+tooling + wrapper      :func:`deploy` / :class:`WrapperService`
+WSRF port types        :mod:`repro.wsrf.porttypes` (WS-ResourceProperties),
+                       :mod:`repro.wsrf.lifetime` (WS-ResourceLifetime)
+WS-BaseFaults          :mod:`repro.wsrf.basefaults`
+WS-ServiceGroup        :mod:`repro.wsrf.servicegroup`
+client proxies         :class:`WsrfClient`
+WSDL generation        :mod:`repro.wsrf.wsdl`
+=====================  =========================================================
+
+Both WS-Resource abstractions from §3 are supported: "WS-Resource as
+state" (fields persisted through a database-backed store around each
+invocation) and "WS-Resource as process" (service state referencing live
+:class:`~repro.osim.cpu.SimProcess` objects, as the Execution Service
+does for jobs).
+"""
+
+from repro.wsrf.attributes import (
+    Resource,
+    ResourceProperty,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+)
+from repro.wsrf.basefaults import (
+    BaseFault,
+    InvalidResourcePropertyQNameFault,
+    InvalidQueryExpressionFault,
+    ResourceUnknownFault,
+    TerminationTimeChangeRejectedFault,
+    UnableToSetTerminationTimeFault,
+)
+from repro.wsrf.porttypes import (
+    GetResourcePropertyPortType,
+    GetMultipleResourcePropertiesPortType,
+    QueryResourcePropertiesPortType,
+    SetResourcePropertiesPortType,
+)
+from repro.wsrf.lifetime import (
+    ImmediateResourceTerminationPortType,
+    ScheduledResourceTerminationPortType,
+)
+from repro.wsrf.tooling import WrapperService, deploy
+from repro.wsrf.client import WsrfClient
+from repro.wsrf.proxy import ServiceProxy, build_proxy
+from repro.wsrf.servicegroup import ServiceGroupService
+from repro.wsrf.wsdl import generate_wsdl
+
+__all__ = [
+    "BaseFault",
+    "GetMultipleResourcePropertiesPortType",
+    "GetResourcePropertyPortType",
+    "ImmediateResourceTerminationPortType",
+    "InvalidQueryExpressionFault",
+    "InvalidResourcePropertyQNameFault",
+    "QueryResourcePropertiesPortType",
+    "Resource",
+    "ResourceProperty",
+    "ResourceUnknownFault",
+    "ScheduledResourceTerminationPortType",
+    "ServiceGroupService",
+    "ServiceProxy",
+    "ServiceSkeleton",
+    "SetResourcePropertiesPortType",
+    "TerminationTimeChangeRejectedFault",
+    "UnableToSetTerminationTimeFault",
+    "WSRFPortType",
+    "WebMethod",
+    "WrapperService",
+    "WsrfClient",
+    "build_proxy",
+    "deploy",
+    "generate_wsdl",
+]

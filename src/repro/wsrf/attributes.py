@@ -1,0 +1,240 @@
+"""The attribute-based programming model of paper Fig. 2.
+
+C# attributes become Python decorators/descriptors with the same names
+and semantics:
+
+- ``some_data = Resource()`` — this field is part of the WS-Resource's
+  state: loaded from the database before each web method runs, saved
+  back afterwards if changed;
+- ``@ResourceProperty`` on a Python ``@property`` — exposed through the
+  WS-ResourceProperties port types (a setter makes it settable via
+  SetResourceProperties);
+- ``@WebMethod`` — the method is invocable over SOAP;
+- ``@WSRFPortType(GetResourcePropertyPortType, ...)`` — import the
+  functionality of spec-defined port types into the service, exactly as
+  the paper describes for ``[WSRFPortType]``.
+
+The running example from Fig. 2 translates directly::
+
+    @WSRFPortType(GetResourcePropertyPortType)
+    class MyServ(ServiceSkeleton):
+        some_data = Resource(default="")
+
+        @ResourceProperty
+        @property
+        def MyData(self):
+            return f"At {self.env.now} the string is {self.some_data}"
+
+        @WebMethod
+        def MyMethod(self) -> int:
+            ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.xmlx import NS, QName
+
+
+class Resource:
+    """Field descriptor marking WS-Resource state (C# ``[Resource]``)."""
+
+    _UNSET = object()
+
+    def __init__(self, default: Any = None, qname: Optional[QName] = None) -> None:
+        self.default = default
+        self.qname = qname  # resolved against the service namespace if None
+        self.name = ""
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def resolved_qname(self, service_cls: type) -> QName:
+        if self.qname is not None:
+            return self.qname
+        ns = getattr(service_cls, "SERVICE_NS", NS.UVACG)
+        return QName(ns, self.name)
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        state = obj.__dict__.setdefault("_resource_fields", {})
+        value = state.get(self.name, Resource._UNSET)
+        return self.default if value is Resource._UNSET else value
+
+    def __set__(self, obj, value) -> None:
+        obj.__dict__.setdefault("_resource_fields", {})[self.name] = value
+
+
+class _ResourcePropertyDescriptor(property):
+    """A Python property carrying ResourceProperty metadata."""
+
+    rp_qname: Optional[QName] = None
+    rp_name: Optional[str] = None
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.rp_name = name
+
+    def resolved_qname(self, service_cls: type) -> QName:
+        if self.rp_qname is not None:
+            return self.rp_qname
+        ns = getattr(service_cls, "SERVICE_NS", NS.UVACG)
+        return QName(ns, self.rp_name or self.fget.__name__)
+
+
+def ResourceProperty(target=None, *, qname: Optional[QName] = None):
+    """Expose a property through WS-ResourceProperties (C# attribute)."""
+
+    def wrap(obj):
+        if isinstance(obj, property):
+            rp = _ResourcePropertyDescriptor(obj.fget, obj.fset, obj.fdel)
+        elif callable(obj):
+            rp = _ResourcePropertyDescriptor(obj)
+        else:
+            raise TypeError(
+                f"ResourceProperty applies to a property or getter, got {obj!r}"
+            )
+        rp.rp_qname = qname
+        return rp
+
+    if target is None:
+        return wrap
+    return wrap(target)
+
+
+def WebMethod(target=None, *, requires_resource: bool = True, one_way: bool = False):
+    """Mark a method as SOAP-invocable (C# ``[WebMethod]``).
+
+    ``requires_resource=False`` marks factory-style operations that run
+    without an EPR-named WS-Resource (e.g. "create a new directory").
+    ``one_way=True`` documents that the operation is normally delivered
+    as a one-way message (no reply body even over request/response).
+    """
+
+    def wrap(fn):
+        fn.__web_method__ = {
+            "requires_resource": requires_resource,
+            "one_way": one_way,
+        }
+        return fn
+
+    if target is None:
+        return wrap
+    return wrap(target)
+
+
+def WSRFPortType(*port_types: type):
+    """Import spec-defined port types into a service (C# attribute)."""
+
+    for pt in port_types:
+        if not isinstance(pt, type):
+            raise TypeError(f"WSRFPortType expects port type classes, got {pt!r}")
+
+    def decorate(cls: type) -> type:
+        existing: Tuple[type, ...] = getattr(cls, "__wsrf_port_types__", ())
+        cls.__wsrf_port_types__ = existing + tuple(port_types)
+        return cls
+
+    return decorate
+
+
+class ServiceSkeleton:
+    """Base class for author-written services (WSRF.NET's ServiceSkeleton).
+
+    Author code never constructs these directly: the wrapper service
+    instantiates one per invocation, populates the ``Resource`` fields
+    from the database, injects the invocation context, runs the method
+    and persists changed state — the Fig. 1 pipeline.
+    """
+
+    #: namespace for this service's methods, resource fields and RPs
+    SERVICE_NS = NS.UVACG
+
+    def __init__(self) -> None:
+        self._resource_fields: Dict[str, Any] = {}
+        self._invocation = None  # set by the wrapper
+
+    # -- invocation context -------------------------------------------------------
+
+    @property
+    def wsrf(self):
+        """The invocation context (wrapper, machine, EPR helpers)."""
+        if self._invocation is None:
+            raise RuntimeError(
+                "no invocation context: this instance was not created by the "
+                "WSRF wrapper (did you call the method directly?)"
+            )
+        return self._invocation
+
+    @property
+    def env(self):
+        return self.wsrf.machine.env
+
+    @property
+    def machine(self):
+        return self.wsrf.machine
+
+    @property
+    def resource_id(self) -> Optional[str]:
+        return self.wsrf.resource_id
+
+    @property
+    def client(self):
+        """A WsrfClient originating from this service's machine."""
+        return self.wsrf.client
+
+    # -- resource management helpers (forwarded to the wrapper) ---------------------
+
+    def epr_for(self, resource_id: str):
+        return self.wsrf.wrapper.epr_for(resource_id)
+
+    def create_resource(self, **fields) -> str:
+        """Create a sibling WS-Resource of this service; returns its id."""
+        return self.wsrf.wrapper.create_resource_from_fields(fields)
+
+    def destroy_resource(self, resource_id: str) -> None:
+        self.wsrf.wrapper.destroy_resource(resource_id)
+
+    def notify(self, topic, payload) -> None:
+        """Publish a notification (single-function API, per §5).
+
+        Requires the NotificationProducer port type; the wrapper routes
+        the message to matching subscribers as one-way wsnt:Notify.
+        """
+        self.wsrf.wrapper.publish(topic, payload)
+
+    # -- hooks ----------------------------------------------------------------------
+
+    def wsrf_on_destroy(self) -> None:
+        """Called (with state loaded) just before this resource is destroyed."""
+
+
+def collect_resource_fields(service_cls: Type[ServiceSkeleton]) -> Dict[str, Resource]:
+    """All Resource descriptors declared on the class (MRO-aware)."""
+    out: Dict[str, Resource] = {}
+    for klass in reversed(service_cls.__mro__):
+        for name, value in vars(klass).items():
+            if isinstance(value, Resource):
+                out[name] = value
+    return out
+
+
+def collect_resource_properties(
+    service_cls: Type[ServiceSkeleton],
+) -> Dict[QName, _ResourcePropertyDescriptor]:
+    out: Dict[QName, _ResourcePropertyDescriptor] = {}
+    for klass in reversed(service_cls.__mro__):
+        for value in vars(klass).values():
+            if isinstance(value, _ResourcePropertyDescriptor):
+                out[value.resolved_qname(service_cls)] = value
+    return out
+
+
+def collect_web_methods(service_cls: type) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for klass in reversed(service_cls.__mro__):
+        for name, value in vars(klass).items():
+            if callable(value) and hasattr(value, "__web_method__"):
+                out[name] = value
+    return out

@@ -1,0 +1,138 @@
+"""WS-BaseFaults: the structured fault hierarchy WSRF services raise.
+
+Every WSRF fault carries a timestamp, an optional originator EPR, an
+error code, a description and an optional chained cause — serialized
+into the SOAP fault detail so clients can reconstruct typed faults.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.soap import SoapFault
+from repro.wsa import EndpointReference
+from repro.xmlx import NS, Element, QName
+
+_TIMESTAMP = QName(NS.WSRF_BF, "Timestamp")
+_ORIGINATOR = QName(NS.WSRF_BF, "Originator")
+_ERROR_CODE = QName(NS.WSRF_BF, "ErrorCode")
+_DESCRIPTION = QName(NS.WSRF_BF, "Description")
+_FAULT_CAUSE = QName(NS.WSRF_BF, "FaultCause")
+
+
+_REGISTRY = {}
+
+
+class BaseFault(SoapFault):
+    """Root of the WS-BaseFaults hierarchy."""
+
+    #: the fault's element name in the detail; subclasses override local
+    FAULT_QNAME = QName(NS.WSRF_BF, "BaseFault")
+
+    def __init_subclass__(cls, **kwargs):
+        # Every BaseFault subclass (including ones defined by application
+        # services) becomes client-side reconstructible automatically.
+        super().__init_subclass__(**kwargs)
+        _REGISTRY[cls.FAULT_QNAME] = cls
+
+    def __init__(
+        self,
+        description: str = "",
+        timestamp: float = 0.0,
+        originator: Optional[EndpointReference] = None,
+        error_code: str = "",
+        cause: Optional["BaseFault"] = None,
+    ) -> None:
+        self.description = description
+        self.timestamp = timestamp
+        self.originator = originator
+        self.error_code = error_code
+        self.cause_fault = cause
+        super().__init__(
+            code="soap:Server",
+            reason=description or type(self).__name__,
+            detail=[self.to_detail_element()],
+        )
+
+    def to_detail_element(self) -> Element:
+        root = Element(self.FAULT_QNAME)
+        root.subelement(_TIMESTAMP, text=repr(self.timestamp))
+        if self.originator is not None:
+            root.append(self.originator.to_xml(_ORIGINATOR))
+        if self.error_code:
+            root.subelement(_ERROR_CODE, text=self.error_code)
+        root.subelement(_DESCRIPTION, text=self.description)
+        if self.cause_fault is not None:
+            root.subelement(_FAULT_CAUSE).append(self.cause_fault.to_detail_element())
+        return root
+
+    @classmethod
+    def from_detail_element(cls, element: Element) -> "BaseFault":
+        fault_cls = _REGISTRY.get(element.tag, BaseFault)
+        originator_el = element.find(_ORIGINATOR)
+        cause_el = element.find(_FAULT_CAUSE)
+        cause = None
+        if cause_el is not None and cause_el.children:
+            cause = BaseFault.from_detail_element(cause_el.children[0])
+        fault = fault_cls(
+            description=element.child_text(_DESCRIPTION, "") or "",
+            timestamp=float(element.child_text(_TIMESTAMP, "0.0") or 0.0),
+            originator=(
+                EndpointReference.from_xml(originator_el)
+                if originator_el is not None
+                else None
+            ),
+            error_code=element.child_text(_ERROR_CODE, "") or "",
+            cause=cause,
+        )
+        return fault
+
+    @classmethod
+    def from_soap_fault(cls, fault: SoapFault) -> Optional["BaseFault"]:
+        """Reconstruct a typed fault from a generic SOAP fault, if possible."""
+        for item in fault.detail:
+            if item.tag.uri == NS.WSRF_BF or item.tag in _REGISTRY:
+                return cls.from_detail_element(item)
+        return None
+
+    def chain(self) -> List["BaseFault"]:
+        """This fault followed by its causes, outermost first."""
+        out: List[BaseFault] = [self]
+        node = self.cause_fault
+        while node is not None:
+            out.append(node)
+            node = node.cause_fault
+        return out
+
+
+class ResourceUnknownFault(BaseFault):
+    """The EPR's resource id resolves to nothing (WS-Resource spec)."""
+
+    FAULT_QNAME = QName(NS.WSRF_BF, "ResourceUnknownFault")
+
+
+class InvalidResourcePropertyQNameFault(BaseFault):
+    """GetResourceProperty named a property the service does not expose."""
+
+    FAULT_QNAME = QName(NS.WSRF_RP, "InvalidResourcePropertyQNameFault")
+
+
+class InvalidQueryExpressionFault(BaseFault):
+    """QueryResourceProperties received a malformed/unsupported XPath."""
+
+    FAULT_QNAME = QName(NS.WSRF_RP, "InvalidQueryExpressionFault")
+
+
+class UnableToSetTerminationTimeFault(BaseFault):
+    FAULT_QNAME = QName(NS.WSRF_RL, "UnableToSetTerminationTimeFault")
+
+
+class TerminationTimeChangeRejectedFault(BaseFault):
+    FAULT_QNAME = QName(NS.WSRF_RL, "TerminationTimeChangeRejectedFault")
+
+
+class UnableToModifyResourcePropertyFault(BaseFault):
+    FAULT_QNAME = QName(NS.WSRF_RP, "UnableToModifyResourcePropertyFault")
+
+
+_REGISTRY[BaseFault.FAULT_QNAME] = BaseFault

@@ -1,0 +1,461 @@
+"""WSRF.NET tooling: generate the wrapper web service (paper Fig. 1).
+
+``deploy(ServiceClass, machine, "Path")`` is the equivalent of running
+the WSRF.NET tools over an annotated service: it builds the wrapper that
+IIS dispatches to.  Per invocation the wrapper
+
+1. parses the SOAP envelope and reads the EPR from the WS-Addressing
+   headers ("the value of the EndpointReference in the <To> header");
+2. resolves the WS-Resource: "querying a database to get the value(s)
+   attached to the unique name given in the ReferenceProperties element
+   of the EPR" — a :class:`~repro.db.BlobResourceStore` point load;
+3. routes to either an author-written web method or a WSRF
+   spec-defined port type method;
+4. makes the state available as ordinary fields while the method runs;
+5. saves changed values back to the database; and
+6. serializes the result (or a WS-BaseFault) into the response envelope.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.db import BlobResourceStore, NoSuchResource
+from repro.sim import Lock
+from repro.soap import SoapEnvelope, SoapFault, from_typed_element, to_typed_element
+from repro.wsa import AddressingHeaders, EndpointReference
+from repro.wsrf.attributes import (
+    ServiceSkeleton,
+    collect_resource_fields,
+    collect_resource_properties,
+    collect_web_methods,
+)
+from repro.wsrf.basefaults import (
+    BaseFault,
+    InvalidResourcePropertyQNameFault,
+    ResourceUnknownFault,
+    UnableToModifyResourcePropertyFault,
+)
+from repro.wsrf.porttypes import SpecPortType, rp_value_element
+from repro.wssec import SecurityError, UsernameToken, open_security_header
+from repro.xmlx import NS, Element, QName
+
+#: the reference property WSRF.NET keys resource lookup on
+RESOURCE_ID = QName(NS.UVACG, "ResourceID")
+
+_WSSE_SECURITY = QName(NS.WSSE, "Security")
+
+
+class InvocationContext:
+    """Everything a service method can reach through ``self.wsrf``."""
+
+    def __init__(self, wrapper: "WrapperService", resource_id, envelope, delivery):
+        self.wrapper = wrapper
+        self.resource_id = resource_id
+        self.envelope = envelope
+        self.delivery = delivery
+
+    @property
+    def machine(self):
+        return self.wrapper.machine
+
+    @property
+    def client(self):
+        return self.wrapper.client
+
+    @property
+    def source_host(self) -> str:
+        return self.delivery.source_host if self.delivery else ""
+
+    def my_epr(self) -> EndpointReference:
+        return self.wrapper.epr_for(self.resource_id)
+
+    def credentials(self) -> UsernameToken:
+        """Decrypt the WS-Security UsernameToken addressed to this service."""
+        header = self.envelope.find_header(_WSSE_SECURITY)
+        if header is None:
+            raise SecurityError("request carries no wsse:Security header")
+        keys = self.wrapper.machine.keys
+        if keys is None:
+            raise SecurityError(
+                f"machine {self.wrapper.machine.name!r} has no key pair enrolled"
+            )
+        return open_security_header(header, keys)
+
+
+class WrapperService:
+    """The generated WSRF-compliant wrapper around an author's service."""
+
+    #: tells IIS to delegate worker-thread accounting (see IisServer.handle)
+    manages_worker_pool = True
+
+    def __init__(
+        self,
+        service_cls: Type[ServiceSkeleton],
+        machine,
+        path: str,
+        store: Optional[BlobResourceStore] = None,
+    ) -> None:
+        if not issubclass(service_cls, ServiceSkeleton):
+            raise TypeError(
+                f"{service_cls.__name__} must derive from ServiceSkeleton"
+            )
+        self.service_cls = service_cls
+        self.machine = machine
+        self.env = machine.env
+        self.path = path.strip("/")
+        self.service_name = self.path
+        self.store = store if store is not None else BlobResourceStore()
+        self.address = machine.service_url(self.path)
+
+        self._fields = collect_resource_fields(service_cls)
+        self._rps = collect_resource_properties(service_cls)
+        self._methods = collect_web_methods(service_cls)
+        ns = service_cls.SERVICE_NS
+        self._author_ops: Dict[QName, Tuple[str, Callable]] = {
+            QName(ns, name): (name, fn) for name, fn in self._methods.items()
+        }
+        self._spec_ops: Dict[QName, Tuple[type, str]] = {}
+        self._pt_rps: Dict[QName, Tuple[type, Callable]] = {}
+        for pt_cls in getattr(service_cls, "__wsrf_port_types__", ()):
+            if not (isinstance(pt_cls, type) and issubclass(pt_cls, SpecPortType)):
+                raise TypeError(f"{pt_cls!r} is not a SpecPortType")
+            for body_qname, method_name in pt_cls.OPERATIONS.items():
+                self._spec_ops[body_qname] = (pt_cls, method_name)
+            for rp_qname, fn in pt_cls.provides_rps().items():
+                self._pt_rps[rp_qname] = (pt_cls, fn)
+
+        self._termination: Dict[str, Optional[float]] = {}
+        self._resource_locks: Dict[str, object] = {}
+        self._rid_counter = itertools.count(1)
+        self._pending_db_ops = 0
+        #: set by the WS-Notification producer attachment
+        self.publish_hook: Optional[Callable] = None
+        #: callbacks fired with the resource id after each destroy
+        self.on_resource_destroyed: list = []
+        #: diagnostics
+        self.invocations = 0
+        self.faults_returned = 0
+
+        from repro.wsrf.client import WsrfClient
+
+        self.client = WsrfClient(machine.network, machine.name)
+        machine.iis.register_app(self.path, self)
+
+    # -- identity -------------------------------------------------------------------
+
+    def epr_for(self, resource_id: Optional[str]) -> EndpointReference:
+        if resource_id is None:
+            return EndpointReference(self.address)
+        return EndpointReference(self.address, {RESOURCE_ID: str(resource_id)})
+
+    def service_epr(self) -> EndpointReference:
+        return self.epr_for(None)
+
+    # -- resource management ----------------------------------------------------------
+
+    def _state_from_instance(self, instance) -> Dict[QName, Any]:
+        return {
+            desc.resolved_qname(self.service_cls): getattr(instance, name)
+            for name, desc in self._fields.items()
+        }
+
+    def _populate_instance(self, instance, state: Dict[QName, Any]) -> None:
+        for name, desc in self._fields.items():
+            qname = desc.resolved_qname(self.service_cls)
+            if qname in state:
+                setattr(instance, name, state[qname])
+
+    def create_resource_from_fields(self, fields: Dict[str, Any]) -> str:
+        unknown = set(fields) - set(self._fields)
+        if unknown:
+            raise ValueError(
+                f"{self.service_cls.__name__} has no Resource fields {sorted(unknown)}"
+            )
+        probe = self.service_cls()
+        for name, value in fields.items():
+            setattr(probe, name, value)
+        state = self._state_from_instance(probe)
+        rid = f"{self.path}-r{next(self._rid_counter):05d}"
+        self.store.create(self.service_name, rid, state)
+        self._pending_db_ops += 1
+        return rid
+
+    def destroy_resource(self, resource_id: str) -> None:
+        try:
+            self.store.destroy(self.service_name, resource_id)
+        except NoSuchResource:
+            raise ResourceUnknownFault(
+                description=f"no resource {resource_id!r} at {self.address}",
+                timestamp=self.env.now,
+            ) from None
+        self._termination.pop(resource_id, None)
+        self._pending_db_ops += 1
+        for callback in self.on_resource_destroyed:
+            callback(resource_id)
+
+    def resource_ids(self):
+        return self.store.list_ids(self.service_name)
+
+    # -- termination times ---------------------------------------------------------------
+
+    def set_termination_time(self, resource_id: str, when: Optional[float]) -> None:
+        self._termination[resource_id] = when
+
+    def get_termination_time(self, resource_id: str) -> Optional[float]:
+        return self._termination.get(resource_id)
+
+    # -- per-resource serialization ------------------------------------------------
+
+    def resource_lock(self, resource_id: str) -> Lock:
+        """The mutex serializing invocations (and watchers) on a resource.
+
+        Without this, two concurrent handlers doing load-modify-save on
+        the same WS-Resource would silently lose updates.
+        """
+        lock = self._resource_locks.get(resource_id)
+        if lock is None:
+            lock = Lock(self.env)
+            self._resource_locks[resource_id] = lock
+        return lock
+
+    def start_sweeper(self, period: float = 1.0):
+        """Spawn the lifetime sweeper enforcing scheduled termination."""
+
+        def sweeper(env):
+            while True:
+                yield env.timeout(period)
+                now = env.now
+                expired = [
+                    rid
+                    for rid, when in self._termination.items()
+                    if when is not None and when <= now
+                ]
+                for rid in expired:
+                    try:
+                        state = self.store.load(self.service_name, rid)
+                    except NoSuchResource:
+                        self._termination.pop(rid, None)
+                        continue
+                    instance = self.service_cls()
+                    self._populate_instance(instance, state)
+                    instance._invocation = InvocationContext(self, rid, None, None)
+                    instance.wsrf_on_destroy()
+                    self.destroy_resource(rid)
+
+        return self.env.process(sweeper(self.env))
+
+    # -- notifications ------------------------------------------------------------------
+
+    def publish(self, topic, payload) -> None:
+        if self.publish_hook is None:
+            raise RuntimeError(
+                f"service {self.path!r} does not import the "
+                "NotificationProducer port type"
+            )
+        self.publish_hook(topic, payload)
+
+    # -- resource properties --------------------------------------------------------------
+
+    def rp_element(self, instance, qname: QName) -> Element:
+        rp = self._rps.get(qname)
+        if rp is not None:
+            return rp_value_element(qname, rp.fget(instance))
+        pt_entry = self._pt_rps.get(qname)
+        if pt_entry is not None:
+            pt_cls, fn = pt_entry
+            return rp_value_element(qname, fn(pt_cls(self, instance)))
+        raise InvalidResourcePropertyQNameFault(
+            description=f"service {self.path!r} exposes no resource property {qname}",
+            timestamp=self.env.now,
+        )
+
+    def set_rp_value(self, instance, qname: QName, value) -> None:
+        rp = self._rps.get(qname)
+        if rp is None:
+            raise InvalidResourcePropertyQNameFault(
+                description=f"no resource property {qname}", timestamp=self.env.now
+            )
+        if rp.fset is None:
+            raise UnableToModifyResourcePropertyFault(
+                description=f"resource property {qname} is read-only",
+                timestamp=self.env.now,
+            )
+        rp.fset(instance, value)
+
+    def set_rp_from_element(self, instance, rp_el: Element) -> None:
+        self.set_rp_value(instance, rp_el.tag, from_typed_element(rp_el))
+
+    def build_rp_document(self, instance) -> Element:
+        root = Element(QName(self.service_cls.SERVICE_NS, "ResourceProperties"))
+        for qname, rp in self._rps.items():
+            root.append(rp_value_element(qname, rp.fget(instance)))
+        for qname, (pt_cls, fn) in self._pt_rps.items():
+            root.append(rp_value_element(qname, fn(pt_cls(self, instance))))
+        return root
+
+    # -- the dispatch pipeline ---------------------------------------------------------------
+
+    def handle_soap(self, payload: str, delivery, pool=None):
+        """IIS-facing entry point (a simulation coroutine)."""
+        self.invocations += 1
+        envelope = SoapEnvelope.deserialize(payload)
+        rid = envelope.addressing.to_epr.get(RESOURCE_ID)
+        try:
+            response_body = yield from self._dispatch(envelope, rid, delivery, pool)
+        except SoapFault as fault:
+            self.faults_returned += 1
+            response_body = fault.to_element()
+        except (SecurityError, NoSuchResource, ValueError, TypeError, KeyError, LookupError) as exc:
+            self.faults_returned += 1
+            response_body = SoapFault(
+                "soap:Server", f"{type(exc).__name__}: {exc}"
+            ).to_element()
+        if delivery is not None and delivery.one_way:
+            return None
+        reply_to = envelope.addressing.reply_to or EndpointReference(
+            f"http://{delivery.source_host}/anonymous" if delivery else "http://anonymous"
+        )
+        headers = AddressingHeaders(
+            to_epr=reply_to,
+            action=envelope.action + "Response",
+            relates_to=envelope.addressing.message_id,
+        )
+        return SoapEnvelope(headers, response_body).serialize()
+
+    def _charge_pending_db(self):
+        # Resource create/destroy from author code is synchronous; the DB
+        # time it implies is charged here, after the method returns.
+        while self._pending_db_ops:
+            self._pending_db_ops -= 1
+            yield self.machine.db_delay()
+
+    def _dispatch(self, envelope: SoapEnvelope, rid, delivery, pool=None):
+        body = envelope.body
+        tag = body.tag
+        self._pending_db_ops = 0
+
+        if tag in self._author_ops:
+            name, fn = self._author_ops[tag]
+            meta = fn.__web_method__
+            requires_resource = meta["requires_resource"]
+            handler_kind = "author"
+        elif tag in self._spec_ops:
+            pt_cls_probe = self._spec_ops[tag][0]
+            optional = tag in pt_cls_probe.OPTIONAL_RESOURCE_OPS
+            requires_resource = not optional or rid is not None
+            handler_kind = "spec"
+        else:
+            raise SoapFault(
+                "soap:Client",
+                f"service {self.path!r} has no operation for body element {tag}",
+            )
+
+        instance = self.service_cls()
+        state_before: Optional[Dict[QName, Any]] = None
+        lock = None
+        if requires_resource:
+            if rid is None:
+                raise ResourceUnknownFault(
+                    description=(
+                        f"operation {tag.local} requires a WS-Resource but the "
+                        "EPR carries no ResourceID reference property"
+                    ),
+                    timestamp=self.env.now,
+                )
+            lock = self.resource_lock(rid)
+            yield lock.acquire()
+        worker_held = False
+        try:
+            # Resource lock first, worker thread second: lock waiters must
+            # not occupy the ASP.NET pool (re-entrancy deadlock hazard).
+            if pool is not None:
+                yield pool.acquire()
+                worker_held = True
+                yield self.env.timeout(self.machine.params.iis_dispatch_s)
+            if requires_resource:
+                yield self.machine.db_delay()
+                try:
+                    state_before = self.store.load(self.service_name, rid)
+                except NoSuchResource:
+                    raise ResourceUnknownFault(
+                        description=f"no resource {rid!r} at {self.address}",
+                        timestamp=self.env.now,
+                    ) from None
+                self._populate_instance(instance, state_before)
+            instance._invocation = InvocationContext(self, rid, envelope, delivery)
+
+            if handler_kind == "author":
+                kwargs = self._deserialize_args(fn, body)
+                result = fn(instance, **kwargs)
+                if inspect.isgenerator(result):
+                    result = yield from result
+                response_body = self._serialize_author_result(name, result)
+            else:
+                pt_cls, method_name = self._spec_ops[tag]
+                pt = pt_cls(self, instance)
+                result = getattr(pt, method_name)(body)
+                if inspect.isgenerator(result):
+                    result = yield from result
+                response_body = result
+
+            # Save state if the resource still exists and anything changed.
+            if (
+                requires_resource
+                and state_before is not None
+                and self.store.exists(self.service_name, rid)
+            ):
+                state_after = self._state_from_instance(instance)
+                if state_after != state_before:
+                    yield self.machine.db_delay()
+                    self.store.save(self.service_name, rid, state_after)
+            yield from self._charge_pending_db()
+            return response_body
+        finally:
+            if worker_held:
+                pool.release()
+            if lock is not None:
+                lock.release()
+
+    def _deserialize_args(self, fn, body: Element) -> Dict[str, Any]:
+        signature = inspect.signature(fn)
+        kwargs: Dict[str, Any] = {}
+        by_local = {child.tag.local: child for child in body.children}
+        for name, param in signature.parameters.items():
+            if name == "self" or param.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            child = by_local.get(name)
+            if child is not None:
+                kwargs[name] = from_typed_element(child)
+            elif param.default is not inspect.Parameter.empty:
+                kwargs[name] = param.default
+            else:
+                raise SoapFault(
+                    "soap:Client",
+                    f"operation {fn.__name__!r} is missing argument {name!r}",
+                )
+        return kwargs
+
+    def _serialize_author_result(self, name: str, result) -> Element:
+        ns = self.service_cls.SERVICE_NS
+        if isinstance(result, Element) and result.tag.local == f"{name}Response":
+            return result
+        response = Element(QName(ns, f"{name}Response"))
+        if result is not None:
+            response.append(to_typed_element(QName(ns, f"{name}Result"), result))
+        return response
+
+
+def deploy(
+    service_cls: Type[ServiceSkeleton],
+    machine,
+    path: str,
+    store: Optional[BlobResourceStore] = None,
+) -> WrapperService:
+    """Run the WSRF.NET tooling: wrap *service_cls* and host it in IIS."""
+    return WrapperService(service_cls, machine, path, store=store)

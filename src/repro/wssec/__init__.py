@@ -1,0 +1,57 @@
+"""Simulated WS-Security.
+
+§4.2 of the paper: "the request to the ES must contain the
+username/password of the account in which the job should be executed.
+This information is conveyed using a WS-Security password profile SOAP
+header, which is then encrypted using the X509 certificate of the
+client."  (Reading in context, the header is encrypted *for the service*
+so only it can recover the password; we model exactly that: encrypt to
+the recipient's certificate, decrypt with its private key.)
+
+**The cryptography here is a simulation**: it preserves the protocol
+structure (certificates, key identifiers, who-can-decrypt-what,
+signature validation flow) with toy primitives built on SHA-256
+keystreams.  It is NOT secure and must never be used outside this
+simulator; what it reproduces is the *code path* — header construction,
+encryption-by-certificate, decryption and credential extraction at the
+Execution Service.
+"""
+
+from repro.wssec.x509 import Certificate, CertificateAuthority, CertificateError, KeyPair
+from repro.wssec.crypto import (
+    CryptoError,
+    decrypt_for,
+    encrypt_to,
+    public_verify,
+    sign,
+    verify,
+)
+from repro.wssec.tokens import (
+    SecurityError,
+    UsernameToken,
+    build_security_header,
+    build_x509_security_header,
+    has_x509_token,
+    open_security_header,
+    open_x509_security_header,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "CryptoError",
+    "KeyPair",
+    "SecurityError",
+    "UsernameToken",
+    "build_security_header",
+    "build_x509_security_header",
+    "has_x509_token",
+    "open_x509_security_header",
+    "public_verify",
+    "decrypt_for",
+    "encrypt_to",
+    "open_security_header",
+    "sign",
+    "verify",
+]

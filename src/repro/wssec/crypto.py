@@ -1,0 +1,85 @@
+"""Toy cryptographic primitives (structure-preserving, NOT secure)."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.wssec.x509 import Certificate, KeyPair
+
+
+class CryptoError(Exception):
+    """Wrong key, corrupted ciphertext, bad signature."""
+
+
+def _keystream(secret: str, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(secret.encode() + nonce + counter.to_bytes(4, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def encrypt_to(cert: Certificate, plaintext: bytes, nonce: bytes = b"\x00") -> bytes:
+    """Encrypt *plaintext* so only the holder of cert's key can read it.
+
+    Toy construction: the ciphertext embeds the recipient key id and an
+    integrity tag; decryption verifies both.  (A real stack would use
+    XML-Encryption with an RSA-wrapped session key.)
+    """
+    # The "public" operation only needs the key id; the keystream is
+    # derived from it in a way the private holder can reproduce.
+    stream = _keystream(f"enc:{cert.key_id}", nonce, len(plaintext))
+    body = bytes(a ^ b for a, b in zip(plaintext, stream))
+    tag = hashlib.sha256(cert.key_id.encode() + plaintext).digest()[:8]
+    header = cert.key_id.encode("ascii") + b"|" + nonce.hex().encode("ascii") + b"|"
+    return header + tag + body
+
+
+def decrypt_for(keys: KeyPair, ciphertext: bytes) -> bytes:
+    parts = ciphertext.split(b"|", 2)
+    if len(parts) != 3:
+        raise CryptoError("malformed ciphertext")
+    key_id, nonce_hex, rest = parts
+    if key_id.decode("ascii", "replace") != keys.key_id:
+        raise CryptoError("ciphertext was not encrypted to this key")
+    nonce = bytes.fromhex(nonce_hex.decode("ascii"))
+    tag, body = rest[:8], rest[8:]
+    stream = _keystream(f"enc:{keys.key_id}", nonce, len(body))
+    plaintext = bytes(a ^ b for a, b in zip(body, stream))
+    expected = hashlib.sha256(keys.key_id.encode() + plaintext).digest()[:8]
+    if tag != expected:
+        raise CryptoError("ciphertext integrity check failed")
+    return plaintext
+
+
+def sign(keys: KeyPair, data: bytes) -> str:
+    """Toy signature: keyed hash naming the signing key."""
+    mac = hashlib.sha256(keys.secret.encode() + data).hexdigest()
+    return f"{keys.key_id}:{mac}"
+
+
+def public_verify(key_id: str, data: bytes, signature: str) -> bool:
+    """Verify a signature knowing only the signer's public key id.
+
+    Simulates public-key verification via the module's key directory
+    (toy crypto; see package docstring).
+    """
+    from repro.wssec.x509 import _PUBLIC_KEY_DIRECTORY
+
+    secret = _PUBLIC_KEY_DIRECTORY.get(key_id)
+    if secret is None:
+        return False
+    return verify(KeyPair(key_id=key_id, secret=secret), data, signature)
+
+
+def verify(keys: KeyPair, data: bytes, signature: str) -> bool:
+    """Verify with the *holder's* key pair (toy symmetric check)."""
+    try:
+        key_id, _ = signature.split(":", 1)
+    except ValueError:
+        return False
+    if key_id != keys.key_id:
+        return False
+    return signature == sign(keys, data)

@@ -1,0 +1,133 @@
+"""The WS-Security UsernameToken password profile header."""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+from repro.wssec.crypto import CryptoError, decrypt_for, encrypt_to
+from repro.wssec.x509 import Certificate, KeyPair
+from repro.xmlx import NS, Element, QName
+
+_SECURITY = QName(NS.WSSE, "Security")
+_ENC_TOKEN = QName(NS.WSSE, "EncryptedUsernameToken")
+_KEY_ID = QName(NS.WSSE, "KeyIdentifier")
+
+
+class SecurityError(Exception):
+    """Missing/undecryptable security header."""
+
+
+@dataclass(frozen=True)
+class UsernameToken:
+    """The credentials a job should run under (§4.2)."""
+
+    username: str
+    password: str
+
+    def encode(self) -> bytes:
+        return f"{self.username}\x00{self.password}".encode("utf-8")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "UsernameToken":
+        try:
+            username, password = raw.decode("utf-8").split("\x00", 1)
+        except ValueError:
+            raise SecurityError("malformed UsernameToken payload") from None
+        return cls(username=username, password=password)
+
+
+def build_security_header(token: UsernameToken, service_cert: Certificate) -> Element:
+    """Encrypt *token* to the service's certificate inside a wsse header."""
+    ciphertext = encrypt_to(service_cert, token.encode())
+    header = Element(_SECURITY)
+    enc = header.subelement(_ENC_TOKEN, text=base64.b64encode(ciphertext).decode("ascii"))
+    enc.subelement(_KEY_ID, text=service_cert.key_id)
+    return header
+
+
+_X509_TOKEN = QName(NS.WSSE, "X509Token")
+_SIGNATURE = QName(NS.WSSE, "Signature")
+_TIMESTAMP = QName(NS.WSSE, "Timestamp")
+
+
+def x509_token_element(user_keys, user_cert, timestamp: float) -> Element:
+    """The signed X509Token block (attachable to any wsse:Security header)."""
+    from repro.wssec.crypto import sign
+
+    timestamp = float(timestamp)
+    token = Element(_X509_TOKEN)
+    token.append(user_cert.to_xml())
+    token.subelement(_TIMESTAMP, text=repr(timestamp))
+    payload = f"{user_cert.fingerprint()}|{timestamp!r}".encode()
+    token.subelement(_SIGNATURE, text=sign(user_keys, payload))
+    return token
+
+
+def build_x509_security_header(user_keys, user_cert, timestamp: float) -> Element:
+    """A GSI-style signed identity token (the GT4 authentication path).
+
+    The holder signs ``fingerprint|timestamp`` with their private key;
+    any service can verify the signature publicly and validate the
+    certificate against the campus CA, then map the subject to a local
+    account via the grid-mapfile (see UserAccounts.map_grid_credential).
+    """
+    header = Element(_SECURITY)
+    header.append(x509_token_element(user_keys, user_cert, timestamp))
+    return header
+
+
+def open_x509_security_header(header: Element, ca, now: float, max_age: float = 300.0):
+    """Verify a signed identity token; returns the Certificate.
+
+    Raises :class:`SecurityError` on bad signature, untrusted issuer,
+    expiry or replayed (stale) timestamps.
+    """
+    from repro.wssec.crypto import public_verify
+    from repro.wssec.x509 import Certificate, CertificateError
+
+    if header.tag != _SECURITY:
+        raise SecurityError(f"not a wsse:Security header: {header.tag}")
+    token = header.find(_X509_TOKEN)
+    if token is None:
+        raise SecurityError("security header lacks an X509Token")
+    cert_el = token.find(QName(NS.WSSE, "BinarySecurityToken"))
+    if cert_el is None:
+        raise SecurityError("X509Token lacks the certificate")
+    try:
+        cert = Certificate.from_xml(cert_el)
+        ca.verify(cert, now=now)
+    except CertificateError as exc:
+        raise SecurityError(f"certificate rejected: {exc}") from exc
+    timestamp_text = token.child_text(_TIMESTAMP)
+    signature = token.child_text(_SIGNATURE)
+    if timestamp_text is None or signature is None:
+        raise SecurityError("X509Token lacks timestamp or signature")
+    timestamp = float(timestamp_text)
+    if not (now - max_age <= timestamp <= now + 1.0):
+        raise SecurityError("X509Token timestamp outside the acceptance window")
+    payload = f"{cert.fingerprint()}|{timestamp!r}".encode()
+    if not public_verify(cert.key_id, payload, signature):
+        raise SecurityError("X509Token signature verification failed")
+    return cert
+
+
+def has_x509_token(header: Element) -> bool:
+    return header.tag == _SECURITY and header.find(_X509_TOKEN) is not None
+
+
+def open_security_header(header: Element, service_keys: KeyPair) -> UsernameToken:
+    """Decrypt the UsernameToken from a wsse:Security header."""
+    if header.tag != _SECURITY:
+        raise SecurityError(f"not a wsse:Security header: {header.tag}")
+    enc = header.find(_ENC_TOKEN)
+    if enc is None:
+        raise SecurityError("security header lacks an EncryptedUsernameToken")
+    key_id = enc.child_text(_KEY_ID)
+    if key_id is not None and key_id != service_keys.key_id:
+        raise SecurityError("token was encrypted to a different service key")
+    ciphertext = base64.b64decode(enc.text.encode("ascii"))
+    try:
+        return UsernameToken.decode(decrypt_for(service_keys, ciphertext))
+    except CryptoError as exc:
+        raise SecurityError(f"cannot decrypt UsernameToken: {exc}") from exc

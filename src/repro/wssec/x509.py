@@ -1,0 +1,134 @@
+"""Simulated X.509: key pairs, certificates and a certificate authority."""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+_serials = itertools.count(1000)
+
+#: key_id -> secret, consulted by public_verify().  This simulates the
+#: asymmetry of real signatures (anyone can verify, only the holder can
+#: sign) without real cryptography — see the package docstring.
+_PUBLIC_KEY_DIRECTORY: Dict[str, str] = {}
+
+
+class CertificateError(Exception):
+    """Unknown issuer, bad signature, expired certificate."""
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A toy key pair: the ``key_id`` is public, the ``secret`` private."""
+
+    key_id: str
+    secret: str
+
+    @classmethod
+    def generate(cls, label: str) -> "KeyPair":
+        secret = hashlib.sha256(f"secret:{label}:{next(_serials)}".encode()).hexdigest()
+        key_id = hashlib.sha256(f"public:{secret}".encode()).hexdigest()[:16]
+        _PUBLIC_KEY_DIRECTORY[key_id] = secret
+        return cls(key_id=key_id, secret=secret)
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Binds a subject name to a public key id, signed by an issuer."""
+
+    subject: str
+    key_id: str
+    issuer: str
+    serial: int
+    not_after: float  # simulated-time expiry
+    signature: str
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(
+            f"{self.subject}|{self.key_id}|{self.issuer}|{self.serial}".encode()
+        ).hexdigest()[:20]
+
+    def to_xml(self):
+        from repro.xmlx import NS, Element, QName
+
+        el = Element(QName(NS.WSSE, "BinarySecurityToken"))
+        el.subelement(QName(NS.WSSE, "Subject"), text=self.subject)
+        el.subelement(QName(NS.WSSE, "KeyId"), text=self.key_id)
+        el.subelement(QName(NS.WSSE, "Issuer"), text=self.issuer)
+        el.subelement(QName(NS.WSSE, "Serial"), text=str(self.serial))
+        el.subelement(QName(NS.WSSE, "NotAfter"), text=repr(self.not_after))
+        el.subelement(QName(NS.WSSE, "CaSignature"), text=self.signature)
+        return el
+
+    @classmethod
+    def from_xml(cls, el) -> "Certificate":
+        from repro.xmlx import NS, QName
+
+        def text(local):
+            value = el.child_text(QName(NS.WSSE, local))
+            if value is None:
+                raise CertificateError(f"certificate XML lacks {local}")
+            return value
+
+        return cls(
+            subject=text("Subject"),
+            key_id=text("KeyId"),
+            issuer=text("Issuer"),
+            serial=int(text("Serial")),
+            not_after=float(text("NotAfter")),
+            signature=text("CaSignature"),
+        )
+
+
+class CertificateAuthority:
+    """Issues and verifies certificates for the campus grid.
+
+    The testbed runs a single CA (the UVaCG root); every machine and user
+    enrolls once, and services verify peer certificates against it.
+    """
+
+    def __init__(self, name: str = "UVaCG Root CA") -> None:
+        self.name = name
+        self._ca_keys = KeyPair.generate(name)
+        self._issued: Dict[int, Certificate] = {}
+        self._revoked: set = set()
+
+    def _sign_fields(self, subject: str, key_id: str, serial: int, not_after: float) -> str:
+        body = f"{subject}|{key_id}|{self.name}|{serial}|{not_after!r}"
+        return hashlib.sha256(f"{self._ca_keys.secret}|{body}".encode()).hexdigest()
+
+    def issue(self, subject: str, key_pair: KeyPair, not_after: float = float("inf")) -> Certificate:
+        serial = next(_serials)
+        cert = Certificate(
+            subject=subject,
+            key_id=key_pair.key_id,
+            issuer=self.name,
+            serial=serial,
+            not_after=not_after,
+            signature=self._sign_fields(subject, key_pair.key_id, serial, not_after),
+        )
+        self._issued[serial] = cert
+        return cert
+
+    def revoke(self, cert: Certificate) -> None:
+        self._revoked.add(cert.serial)
+
+    def verify(self, cert: Certificate, now: float = 0.0) -> None:
+        """Raise :class:`CertificateError` unless *cert* is valid."""
+        if cert.issuer != self.name:
+            raise CertificateError(f"unknown issuer {cert.issuer!r}")
+        expected = self._sign_fields(cert.subject, cert.key_id, cert.serial, cert.not_after)
+        if cert.signature != expected:
+            raise CertificateError(f"bad signature on certificate for {cert.subject!r}")
+        if cert.serial in self._revoked:
+            raise CertificateError(f"certificate for {cert.subject!r} is revoked")
+        if now > cert.not_after:
+            raise CertificateError(f"certificate for {cert.subject!r} expired")
+
+
+def enroll(ca: CertificateAuthority, subject: str, not_after: float = float("inf")):
+    """Convenience: generate a key pair and an issued certificate."""
+    keys = KeyPair.generate(subject)
+    return keys, ca.issue(subject, keys, not_after=not_after)

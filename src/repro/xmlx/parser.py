@@ -1,0 +1,269 @@
+"""A small, strict, from-scratch XML parser.
+
+Supports the subset of XML that SOAP messages use: a single root element,
+namespace declarations (default and prefixed), attributes, character data
+with the five predefined entities plus numeric character references,
+comments, processing instructions and CDATA sections.  DTDs are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.xmlx.element import Element
+from repro.xmlx.qname import QName
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+_WHITESPACE = set(" \t\r\n")
+
+
+class XmlParseError(ValueError):
+    """Raised on malformed XML, with the byte offset of the problem."""
+
+    def __init__(self, message: str, pos: int) -> None:
+        super().__init__(f"{message} (at offset {pos})")
+        self.pos = pos
+
+
+class _Scanner:
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def peek(self, count: int = 1) -> str:
+        return self.text[self.pos : self.pos + count]
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XmlParseError(f"expected {literal!r}", self.pos)
+        self.pos += len(literal)
+
+    def read_until(self, literal: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end < 0:
+            raise XmlParseError(f"unterminated construct, expected {literal!r}", self.pos)
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or self.text[self.pos] not in _NAME_START:
+            raise XmlParseError("expected a name", self.pos)
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+
+def _decode_entities(raw: str, pos_hint: int) -> str:
+    if "&" not in raw:
+        return raw
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i)
+        if end < 0:
+            raise XmlParseError("unterminated entity reference", pos_hint + i)
+        body = raw[i + 1 : end]
+        if body.startswith("#x") or body.startswith("#X"):
+            out.append(chr(int(body[2:], 16)))
+        elif body.startswith("#"):
+            out.append(chr(int(body[1:])))
+        elif body in _ENTITIES:
+            out.append(_ENTITIES[body])
+        else:
+            raise XmlParseError(f"unknown entity &{body};", pos_hint + i)
+        i = end + 1
+    return "".join(out)
+
+
+class _NsScope:
+    """A chain of in-scope namespace bindings."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: Dict[str, str], parent: Optional["_NsScope"]) -> None:
+        self.bindings = bindings
+        self.parent = parent
+
+    def resolve(self, prefix: str) -> Optional[str]:
+        scope: Optional[_NsScope] = self
+        while scope is not None:
+            if prefix in scope.bindings:
+                return scope.bindings[prefix]
+            scope = scope.parent
+        return None
+
+
+def _split_qname(raw: str, scope: _NsScope, pos: int, is_attr: bool) -> QName:
+    if ":" in raw:
+        prefix, local = raw.split(":", 1)
+        uri = scope.resolve(prefix)
+        if uri is None:
+            raise XmlParseError(f"unbound namespace prefix {prefix!r}", pos)
+        return QName(uri, local)
+    if is_attr:
+        # Per the namespaces spec, unprefixed attributes are in no namespace.
+        return QName("", raw)
+    default = scope.resolve("")
+    return QName(default or "", raw)
+
+
+def parse(text: str) -> Element:
+    """Parse *text* and return the root :class:`Element`."""
+    scanner = _Scanner(text)
+    _skip_misc(scanner, allow_decl=True)
+    if scanner.at_end() or scanner.peek() != "<":
+        raise XmlParseError("expected root element", scanner.pos)
+    root = _parse_element(scanner, _NsScope({"xml": "http://www.w3.org/XML/1998/namespace"}, None))
+    _skip_misc(scanner, allow_decl=False)
+    if not scanner.at_end():
+        raise XmlParseError("content after document root", scanner.pos)
+    return root
+
+
+def _skip_misc(scanner: _Scanner, allow_decl: bool) -> None:
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.peek(2) == "<?":
+            if not allow_decl and scanner.peek(5).lower() == "<?xml":
+                raise XmlParseError("misplaced XML declaration", scanner.pos)
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.peek(9).upper() == "<!DOCTYPE":
+            raise XmlParseError("DTDs are not supported", scanner.pos)
+        else:
+            return
+
+
+def _parse_attributes(
+    scanner: _Scanner,
+) -> Tuple[List[Tuple[str, str, int]], Dict[str, str], bool, bool]:
+    """Read attributes; returns (raw attrs, xmlns bindings, empty?, ...)."""
+    raw_attrs: List[Tuple[str, str, int]] = []
+    ns_bindings: Dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        nxt = scanner.peek()
+        if nxt == ">":
+            scanner.advance()
+            return raw_attrs, ns_bindings, False, True
+        if scanner.peek(2) == "/>":
+            scanner.advance(2)
+            return raw_attrs, ns_bindings, True, True
+        pos = scanner.pos
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise XmlParseError("attribute value must be quoted", scanner.pos)
+        scanner.advance()
+        value = _decode_entities(scanner.read_until(quote), pos)
+        if name == "xmlns":
+            ns_bindings[""] = value
+        elif name.startswith("xmlns:"):
+            ns_bindings[name[6:]] = value
+        else:
+            raw_attrs.append((name, value, pos))
+
+
+def _parse_element(scanner: _Scanner, scope: _NsScope) -> Element:
+    scanner.expect("<")
+    tag_pos = scanner.pos
+    raw_tag = scanner.read_name()
+    raw_attrs, ns_bindings, is_empty, _ = _parse_attributes(scanner)
+    if ns_bindings:
+        scope = _NsScope(ns_bindings, scope)
+    element = Element(_split_qname(raw_tag, scope, tag_pos, is_attr=False))
+    for name, value, pos in raw_attrs:
+        qname = _split_qname(name, scope, pos, is_attr=True)
+        if qname in element.attrib:
+            raise XmlParseError(f"duplicate attribute {qname}", pos)
+        element.attrib[qname] = value
+    if is_empty:
+        return element
+
+    _parse_content(scanner, element, scope, raw_tag)
+    return element
+
+
+def _parse_content(scanner: _Scanner, element: Element, scope: _NsScope, raw_tag: str) -> None:
+    text_parts: List[str] = []
+    last_child: Optional[Element] = None
+
+    def flush_text() -> None:
+        nonlocal last_child
+        if not text_parts:
+            return
+        chunk = "".join(text_parts)
+        text_parts.clear()
+        if last_child is None:
+            element.text += chunk
+        else:
+            last_child.tail += chunk
+
+    while True:
+        if scanner.at_end():
+            raise XmlParseError(f"unterminated element <{raw_tag}>", scanner.pos)
+        if scanner.peek() == "<":
+            if scanner.peek(2) == "</":
+                flush_text()
+                scanner.advance(2)
+                end_tag = scanner.read_name()
+                if end_tag != raw_tag:
+                    raise XmlParseError(
+                        f"mismatched end tag </{end_tag}>, expected </{raw_tag}>",
+                        scanner.pos,
+                    )
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                return
+            if scanner.peek(4) == "<!--":
+                scanner.advance(4)
+                scanner.read_until("-->")
+                continue
+            if scanner.peek(9) == "<![CDATA[":
+                scanner.advance(9)
+                text_parts.append(scanner.read_until("]]>"))
+                continue
+            if scanner.peek(2) == "<?":
+                scanner.advance(2)
+                scanner.read_until("?>")
+                continue
+            flush_text()
+            last_child = _parse_element(scanner, scope)
+            element.children.append(last_child)
+            continue
+        start = scanner.pos
+        end = scanner.text.find("<", start)
+        if end < 0:
+            raise XmlParseError(f"unterminated element <{raw_tag}>", start)
+        text_parts.append(_decode_entities(scanner.text[start:end], start))
+        scanner.pos = end

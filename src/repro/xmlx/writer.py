@@ -1,0 +1,128 @@
+"""Namespace-aware XML serializer."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.xmlx.element import Element
+from repro.xmlx.qname import NS, QName
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    for raw, esc in _TEXT_ESCAPES:
+        value = value.replace(raw, esc)
+    return value
+
+
+def escape_attr(value: str) -> str:
+    for raw, esc in _ATTR_ESCAPES:
+        value = value.replace(raw, esc)
+    return value
+
+
+class _PrefixAllocator:
+    """Assigns stable prefixes to namespace URIs within one document."""
+
+    def __init__(self) -> None:
+        self._by_uri: Dict[str, str] = {}
+        self._used = set()
+        self._counter = 0
+
+    def prefix_for(self, uri: str) -> str:
+        prefix = self._by_uri.get(uri)
+        if prefix is not None:
+            return prefix
+        preferred = NS.PREFERRED_PREFIXES.get(uri)
+        if preferred and preferred not in self._used:
+            prefix = preferred
+        else:
+            while True:
+                candidate = f"ns{self._counter}"
+                self._counter += 1
+                if candidate not in self._used:
+                    prefix = candidate
+                    break
+        self._by_uri[uri] = prefix
+        self._used.add(prefix)
+        return prefix
+
+    def declarations(self) -> List[str]:
+        return [
+            f'xmlns:{prefix}="{escape_attr(uri)}"'
+            for uri, prefix in sorted(self._by_uri.items(), key=lambda kv: kv[1])
+        ]
+
+
+def _collect_uris(element: Element, allocator: _PrefixAllocator) -> None:
+    if element.tag.uri:
+        allocator.prefix_for(element.tag.uri)
+    for name in element.attrib:
+        if name.uri:
+            allocator.prefix_for(name.uri)
+    for child in element.children:
+        _collect_uris(child, allocator)
+
+
+def to_string(root: Element, xml_declaration: bool = False, indent: bool = False) -> str:
+    """Serialize *root* to XML text.
+
+    All namespace declarations are hoisted to the root element (the style
+    ASP.NET uses for SOAP envelopes), which keeps prefixes stable and the
+    output easy to diff in tests.
+    """
+    allocator = _PrefixAllocator()
+    _collect_uris(root, allocator)
+    out: List[str] = []
+    if xml_declaration:
+        out.append('<?xml version="1.0" encoding="utf-8"?>')
+        if indent:
+            out.append("\n")
+    _write(root, allocator, out, root_decls=allocator.declarations(), indent=indent, depth=0)
+    return "".join(out)
+
+
+def _name(qname: QName, allocator: _PrefixAllocator) -> str:
+    if not qname.uri:
+        return qname.local
+    return f"{allocator.prefix_for(qname.uri)}:{qname.local}"
+
+
+def _write(
+    element: Element,
+    allocator: _PrefixAllocator,
+    out: List[str],
+    root_decls=None,
+    indent: bool = False,
+    depth: int = 0,
+) -> None:
+    pad = "  " * depth if indent else ""
+    tag = _name(element.tag, allocator)
+    out.append(f"{pad}<{tag}")
+    if root_decls:
+        for decl in root_decls:
+            out.append(f" {decl}")
+    for name, value in element.attrib.items():
+        out.append(f' {_name(name, allocator)}="{escape_attr(value)}"')
+    if not element.text and not element.children:
+        out.append(" />")
+        if indent:
+            out.append("\n")
+        return
+    out.append(">")
+    if element.text:
+        out.append(escape_text(element.text))
+    if element.children:
+        if indent and not element.text:
+            out.append("\n")
+        for child in element.children:
+            _write(child, allocator, out, indent=indent and not element.text, depth=depth + 1)
+            if child.tail:
+                out.append(escape_text(child.tail))
+        if indent and not element.text:
+            out.append(pad)
+    out.append(f"</{tag}>")
+    if indent:
+        out.append("\n")

@@ -1,0 +1,245 @@
+"""XPath-lite: the query dialect behind QueryResourceProperties.
+
+Supports the subset of XPath 1.0 that the paper's services (and the D-3
+state-storage benchmark) need:
+
+- absolute and relative location paths: ``/a/b``, ``a/b``
+- descendant-or-self: ``//b``, ``a//b``
+- name tests with prefixes (resolved via a caller-supplied namespace map)
+  and the ``*`` wildcard
+- ``text()`` (returns strings) and ``@attr`` (returns attribute strings)
+- predicates: positional ``[2]`` (1-based), existence ``[child]``,
+  equality ``[child='v']``, ``[@attr='v']`` and ``[.='v']``
+
+Evaluation returns a list of :class:`Element` nodes or, for ``text()`` /
+``@attr`` terminal steps, a list of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.xmlx.element import Element
+from repro.xmlx.qname import QName
+
+Result = Union[Element, str]
+
+
+class XPathError(ValueError):
+    """Raised for unsupported or malformed expressions."""
+
+
+class _Step:
+    __slots__ = ("axis", "test", "predicates")
+
+    def __init__(self, axis: str, test: str, predicates: List[str]) -> None:
+        self.axis = axis  # "child" | "descendant"
+        self.test = test  # name test, "*", "text()", "@name", "."
+        self.predicates = predicates
+
+
+def _tokenize_path(expression: str) -> tuple[bool, List[_Step]]:
+    expr = expression.strip()
+    if not expr:
+        raise XPathError("empty XPath expression")
+    absolute = expr.startswith("/")
+    steps: List[_Step] = []
+    i = 0
+    length = len(expr)
+    axis = "child"
+    while i < length:
+        if expr[i] == "/":
+            if expr[i : i + 2] == "//":
+                axis = "descendant"
+                i += 2
+            else:
+                axis = "child"
+                i += 1
+            if i >= length:
+                raise XPathError(f"trailing '/' in {expression!r}")
+            continue
+        start = i
+        depth = 0
+        while i < length and (depth > 0 or expr[i] != "/"):
+            if expr[i] == "[":
+                depth += 1
+            elif expr[i] == "]":
+                depth -= 1
+            elif expr[i] in "'\"":
+                quote = expr[i]
+                i += 1
+                while i < length and expr[i] != quote:
+                    i += 1
+            i += 1
+        raw_step = expr[start:i]
+        steps.append(_parse_step(raw_step, expression))
+        steps[-1].axis = axis
+        axis = "child"
+    return absolute, steps
+
+
+def _parse_step(raw: str, whole: str) -> _Step:
+    predicates: List[str] = []
+    base = raw
+    while base.endswith("]"):
+        depth = 0
+        for idx in range(len(base) - 1, -1, -1):
+            ch = base[idx]
+            if ch == "]":
+                depth += 1
+            elif ch == "[":
+                depth -= 1
+                if depth == 0:
+                    predicates.insert(0, base[idx + 1 : -1].strip())
+                    base = base[:idx]
+                    break
+        else:
+            raise XPathError(f"unbalanced predicate in {whole!r}")
+    base = base.strip()
+    if not base:
+        raise XPathError(f"empty step in {whole!r}")
+    return _Step("child", base, predicates)
+
+
+def _resolve_test(test: str, namespaces: Optional[Dict[str, str]]) -> Optional[QName]:
+    """Resolve a name test to a QName; None for non-name tests."""
+    if test in ("*", "text()", "."):
+        return None
+    if test.startswith("@"):
+        return None
+    if ":" in test:
+        prefix, local = test.split(":", 1)
+        if not namespaces or prefix not in namespaces:
+            raise XPathError(f"unbound prefix {prefix!r} in XPath name test")
+        return QName(namespaces[prefix], local)
+    return QName("", test)
+
+
+def _name_matches(element: Element, test: str, namespaces: Optional[Dict[str, str]]) -> bool:
+    if test == "*":
+        return True
+    want = _resolve_test(test, namespaces)
+    if want is None:
+        return False
+    if want.uri:
+        return element.tag == want
+    # Unprefixed tests match on local name regardless of namespace — a
+    # deliberate convenience (WSRF RP documents live in service namespaces
+    # that clients rarely want to spell out in full).
+    return element.tag.local == test
+
+
+def _axis_candidates(node: Element, axis: str) -> List[Element]:
+    if axis == "child":
+        return list(node.children)
+    out: List[Element] = []
+    for child in node.children:
+        out.extend(child.iter())
+    return out
+
+
+def _eval_predicate(
+    pred: str,
+    element: Element,
+    position: int,
+    namespaces: Optional[Dict[str, str]],
+) -> bool:
+    pred = pred.strip()
+    if pred.isdigit():
+        return position == int(pred)
+    if "=" in pred:
+        lhs, rhs = pred.split("=", 1)
+        lhs, rhs = lhs.strip(), rhs.strip()
+        if not (rhs.startswith("'") and rhs.endswith("'")) and not (
+            rhs.startswith('"') and rhs.endswith('"')
+        ):
+            raise XPathError(f"predicate value must be a quoted string: {pred!r}")
+        value = rhs[1:-1]
+        if lhs == ".":
+            return element.full_text() == value
+        if lhs.startswith("@"):
+            return element.get(lhs[1:]) == value
+        return any(
+            child.full_text() == value
+            for child in element.children
+            if _name_matches(child, lhs, namespaces)
+        )
+    if pred.startswith("@"):
+        return element.get(pred[1:]) is not None
+    return any(_name_matches(child, pred, namespaces) for child in element.children)
+
+
+def xpath_select(
+    root: Element,
+    expression: str,
+    namespaces: Optional[Dict[str, str]] = None,
+) -> List[Result]:
+    """Evaluate *expression* against *root*.
+
+    For absolute paths the first step is matched against the root element
+    itself (document-node semantics).
+    """
+    absolute, steps = _tokenize_path(expression)
+    if absolute:
+        first, rest = steps[0], steps[1:]
+        if first.test in ("text()",) or first.test.startswith("@"):
+            raise XPathError("absolute path must start with an element step")
+        if first.axis == "descendant":
+            context: List[Element] = [
+                el for el in root.iter() if _name_matches(el, first.test, namespaces)
+            ]
+        elif _name_matches(root, first.test, namespaces):
+            context = [root]
+        else:
+            context = []
+        context = _apply_predicates(context, first, namespaces)
+        steps = rest
+    else:
+        context = [root]
+
+    current: List[Result] = list(context)
+    for step in steps:
+        next_nodes: List[Result] = []
+        elements = [node for node in current if isinstance(node, Element)]
+        if step.test == "text()":
+            for el in elements:
+                text = el.full_text()
+                if text:
+                    next_nodes.append(text)
+            current = next_nodes
+            continue
+        if step.test.startswith("@"):
+            attr = step.test[1:]
+            for el in elements:
+                value = el.get(attr)
+                if value is not None:
+                    next_nodes.append(value)
+            current = next_nodes
+            continue
+        if step.test == ".":
+            current = list(elements)
+            continue
+        for el in elements:
+            candidates = [
+                c
+                for c in _axis_candidates(el, step.axis)
+                if _name_matches(c, step.test, namespaces)
+            ]
+            next_nodes.extend(_apply_predicates(candidates, step, namespaces))
+        current = next_nodes
+    return current
+
+
+def _apply_predicates(
+    candidates: Sequence[Element],
+    step: _Step,
+    namespaces: Optional[Dict[str, str]],
+) -> List[Element]:
+    result = list(candidates)
+    for pred in step.predicates:
+        result = [
+            el
+            for position, el in enumerate(result, start=1)
+            if _eval_predicate(pred, el, position, namespaces)
+        ]
+    return result

@@ -1,0 +1,76 @@
+"""Durable client-side EPR state: survive a client restart (§5)."""
+
+import pytest
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.osim.programs import make_compute_program
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+
+
+@pytest.fixture()
+def testbed():
+    tb = Testbed(n_machines=2, seed=53)
+    tb.programs.register(make_compute_program("tiny", 0.5, outputs={"out": b"data"}))
+    return tb
+
+
+def _run(tb, client, n=2):
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("tiny"))
+    for i in range(n):
+        spec.add(JobSpec(name=f"j{i}", executable=FileRef(exe, "job.exe"),
+                         outputs=["out"]))
+    outcome, jobset_epr, topic = tb.run_job_set(client, spec)
+    tb.settle(2.0)
+    assert outcome == "completed"
+    return topic
+
+
+class TestClientStatePersistence:
+    def test_export_import_roundtrip(self, testbed):
+        client = testbed.make_client()
+        topic = _run(testbed, client)
+        blob = client.export_state()
+        assert isinstance(blob, bytes) and b"ClientState" in blob
+        restored = client.import_state(blob)
+        assert topic in restored
+        assert set(restored[topic]) == {"j0", "j1"}
+        for job in restored[topic].values():
+            assert "job" in job and "dir" in job
+
+    def test_restarted_client_uses_restored_eprs(self, testbed):
+        old_client = testbed.make_client()
+        topic = _run(testbed, old_client)
+        blob = old_client.export_state()
+        # The client machine "shuts down": listener and file server go away.
+        old_client.listener.close()
+        old_client.file_server.close()
+
+        # A fresh client process on a NEW host restores the inventory
+        # from the persisted bytes and fetches results directly.
+        new_client = testbed.make_client(host_name="client-reborn")
+        restored = new_client.import_state(blob)
+        dir_epr = restored[topic]["j0"]["dir"]
+        content = testbed.run(new_client.fetch_output(dir_epr, "out"))
+        assert content.to_bytes() == b"data"
+        status = testbed.run(
+            new_client.soap.get_resource_property(
+                restored[topic]["j0"]["job"], QName(UVA, "Status")
+            )
+        )
+        assert status in ("Exited", "Killed")
+
+    def test_state_scoped_to_what_the_client_saw(self, testbed):
+        alice = testbed.make_client()
+        bob = testbed.make_client()
+        topic_a = _run(testbed, alice)
+        topic_b = _run(testbed, bob)
+        alice_state = alice.import_state(alice.export_state())
+        assert topic_a in alice_state
+        assert topic_b not in alice_state  # never subscribed to bob's topic
+
+    def test_empty_history_exports_empty_doc(self, testbed):
+        client = testbed.make_client()
+        assert client.import_state(client.export_state()) == {}

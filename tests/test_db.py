@@ -1,0 +1,324 @@
+"""Tests for the database layer: engine, SQL dialect, resource stores."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import (
+    BlobResourceStore,
+    Column,
+    Database,
+    DbError,
+    NoSuchResource,
+    SqlError,
+    XmlResourceStore,
+    execute_sql,
+)
+from repro.db.resource_store import decode_state, encode_state
+from repro.xmlx import NS, QName
+
+
+def _jobs_table(db):
+    return db.create_table(
+        "jobs",
+        [
+            Column("id", "TEXT", primary_key=True),
+            Column("status", "TEXT", nullable=False),
+            Column("cpu", "REAL"),
+            Column("exit_code", "INTEGER"),
+        ],
+    )
+
+
+class TestEngine:
+    def test_insert_and_get(self):
+        db = Database()
+        t = _jobs_table(db)
+        t.insert({"id": "j1", "status": "Running", "cpu": 1.5})
+        row = t.get("j1")
+        assert row["status"] == "Running"
+        assert row["exit_code"] is None
+
+    def test_duplicate_pk_rejected(self):
+        t = _jobs_table(Database())
+        t.insert({"id": "j1", "status": "Running"})
+        with pytest.raises(DbError, match="duplicate"):
+            t.insert({"id": "j1", "status": "Exited"})
+
+    def test_type_checking(self):
+        t = _jobs_table(Database())
+        with pytest.raises(DbError, match="expects TEXT"):
+            t.insert({"id": "j1", "status": 7})
+        with pytest.raises(DbError, match="expects INTEGER"):
+            t.insert({"id": "j1", "status": "ok", "exit_code": "zero"})
+        with pytest.raises(DbError, match="expects INTEGER"):
+            t.insert({"id": "j1", "status": "ok", "exit_code": True})
+
+    def test_not_null_enforced(self):
+        t = _jobs_table(Database())
+        with pytest.raises(DbError, match="NOT NULL"):
+            t.insert({"id": "j1", "status": None})
+
+    def test_unknown_column_rejected(self):
+        t = _jobs_table(Database())
+        with pytest.raises(DbError, match="unknown columns"):
+            t.insert({"id": "j1", "status": "ok", "bogus": 1})
+
+    def test_select_with_equals_and_predicate(self):
+        t = _jobs_table(Database())
+        for i in range(10):
+            t.insert(
+                {"id": f"j{i}", "status": "Running" if i % 2 else "Exited", "cpu": float(i)}
+            )
+        running = t.select(equals={"status": "Running"})
+        assert len(running) == 5
+        hot = t.select(where=lambda r: (r["cpu"] or 0) > 7)
+        assert {r["id"] for r in hot} == {"j8", "j9"}
+        combo = t.select(equals={"status": "Running"}, where=lambda r: r["cpu"] > 7)
+        assert [r["id"] for r in combo] == ["j9"]
+
+    def test_select_projection(self):
+        t = _jobs_table(Database())
+        t.insert({"id": "j1", "status": "Running"})
+        rows = t.select(columns=["id"])
+        assert rows == [{"id": "j1"}]
+        with pytest.raises(DbError):
+            t.select(columns=["nope"])
+
+    def test_select_returns_copies(self):
+        t = _jobs_table(Database())
+        t.insert({"id": "j1", "status": "Running"})
+        t.select()[0]["status"] = "Hacked"
+        assert t.get("j1")["status"] == "Running"
+
+    def test_update(self):
+        t = _jobs_table(Database())
+        t.insert({"id": "j1", "status": "Running"})
+        n = t.update({"status": "Exited", "exit_code": 0}, equals={"id": "j1"})
+        assert n == 1
+        assert t.get("j1")["exit_code"] == 0
+
+    def test_update_pk_rejected(self):
+        t = _jobs_table(Database())
+        t.insert({"id": "j1", "status": "Running"})
+        with pytest.raises(DbError, match="primary key"):
+            t.update({"id": "j2"}, equals={"id": "j1"})
+
+    def test_delete(self):
+        t = _jobs_table(Database())
+        for i in range(4):
+            t.insert({"id": f"j{i}", "status": "Exited"})
+        assert t.delete(equals={"id": "j2"}) == 1
+        assert len(t) == 3
+        assert t.delete(where=lambda r: True) == 3
+        assert len(t) == 0
+
+    def test_secondary_index_consistency(self):
+        t = _jobs_table(Database())
+        t.create_index("status")
+        for i in range(6):
+            t.insert({"id": f"j{i}", "status": "Running"})
+        t.update({"status": "Exited"}, equals={"id": "j0"})
+        assert len(t.select(equals={"status": "Running"})) == 5
+        assert len(t.select(equals={"status": "Exited"})) == 1
+        t.delete(equals={"id": "j1"})
+        assert len(t.select(equals={"status": "Running"})) == 4
+
+    def test_index_on_missing_column(self):
+        t = _jobs_table(Database())
+        with pytest.raises(DbError):
+            t.create_index("nope")
+
+    def test_schema_validation(self):
+        db = Database()
+        with pytest.raises(DbError, match="unknown column type"):
+            Column("x", "VARCHAR")
+        with pytest.raises(DbError, match="at least one"):
+            db.create_table("t", [])
+        with pytest.raises(DbError, match="multiple primary"):
+            db.create_table(
+                "t",
+                [Column("a", "TEXT", primary_key=True), Column("b", "TEXT", primary_key=True)],
+            )
+        with pytest.raises(DbError, match="duplicate column"):
+            db.create_table("t", [Column("a", "TEXT"), Column("a", "TEXT")])
+
+    def test_drop_table(self):
+        db = Database()
+        _jobs_table(db)
+        db.drop_table("jobs")
+        with pytest.raises(DbError):
+            db.table("jobs")
+        with pytest.raises(DbError):
+            db.drop_table("jobs")
+
+
+class TestSql:
+    @pytest.fixture()
+    def db(self):
+        db = Database()
+        execute_sql(
+            db,
+            "CREATE TABLE jobs (id TEXT PRIMARY KEY, status TEXT NOT NULL, cpu REAL)",
+        )
+        return db
+
+    def test_create_insert_select(self, db):
+        execute_sql(db, "INSERT INTO jobs (id, status, cpu) VALUES (?, ?, ?)", ["j1", "R", 1.0])
+        execute_sql(db, "INSERT INTO jobs (id, status, cpu) VALUES (?, ?, ?)", ["j2", "E", 2.0])
+        rows = execute_sql(db, "SELECT id, cpu FROM jobs WHERE status = ?", ["R"])
+        assert rows == [{"id": "j1", "cpu": 1.0}]
+        all_rows = execute_sql(db, "SELECT * FROM jobs")
+        assert len(all_rows) == 2
+
+    def test_update_and_delete(self, db):
+        execute_sql(db, "INSERT INTO jobs (id, status) VALUES (?, ?)", ["j1", "R"])
+        n = execute_sql(db, "UPDATE jobs SET status = ?, cpu = ? WHERE id = ?", ["E", 9.0, "j1"])
+        assert n == 1
+        assert execute_sql(db, "SELECT status FROM jobs WHERE id = ?", ["j1"]) == [
+            {"status": "E"}
+        ]
+        assert execute_sql(db, "DELETE FROM jobs WHERE id = ?", ["j1"]) == 1
+
+    def test_where_and_conjunction(self, db):
+        execute_sql(db, "INSERT INTO jobs (id, status, cpu) VALUES (?, ?, ?)", ["j1", "R", 1.0])
+        execute_sql(db, "INSERT INTO jobs (id, status, cpu) VALUES (?, ?, ?)", ["j2", "R", 2.0])
+        rows = execute_sql(
+            db, "SELECT id FROM jobs WHERE status = ? AND cpu = ?", ["R", 2.0]
+        )
+        assert rows == [{"id": "j2"}]
+
+    def test_param_count_mismatch(self, db):
+        with pytest.raises(SqlError, match="not enough parameters"):
+            execute_sql(db, "INSERT INTO jobs (id, status) VALUES (?, ?)", ["j1"])
+        with pytest.raises(SqlError, match="consumed"):
+            execute_sql(db, "SELECT * FROM jobs", ["extra"])
+
+    def test_literals_rejected(self, db):
+        with pytest.raises(SqlError):
+            execute_sql(db, "INSERT INTO jobs (id) VALUES ('j1')")
+        with pytest.raises(SqlError, match="unsupported WHERE"):
+            execute_sql(db, "SELECT * FROM jobs WHERE id = 'j1'")
+
+    def test_unrecognized_statement(self, db):
+        with pytest.raises(SqlError, match="unrecognized"):
+            execute_sql(db, "TRUNCATE jobs")
+
+    def test_type_errors_surface(self, db):
+        with pytest.raises(DbError, match="expects TEXT"):
+            execute_sql(db, "INSERT INTO jobs (id, status) VALUES (?, ?)", ["j1", 5])
+
+
+_STATUS = QName(NS.UVACG, "Status")
+_CPU = QName(NS.UVACG, "CpuTime")
+_OWNER = QName(NS.UVACG, "Owner")
+
+
+def _state(i):
+    return {
+        _STATUS: "Running" if i % 3 else "Exited",
+        _CPU: float(i),
+        _OWNER: f"user{i % 2}",
+    }
+
+
+class TestStateCodec:
+    def test_roundtrip(self):
+        state = _state(4)
+        assert decode_state(encode_state(state)) == state
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            decode_state(b"<other/>")
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=6).map(
+                lambda s: QName(NS.UVACG, s)
+            ),
+            st.one_of(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=20),
+                st.binary(max_size=20),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=6,
+        )
+    )
+    def test_roundtrip_property(self, state):
+        assert decode_state(encode_state(state)) == state
+
+
+@pytest.mark.parametrize("store_cls", [BlobResourceStore, XmlResourceStore])
+class TestResourceStores:
+    def test_crud_lifecycle(self, store_cls):
+        store = store_cls()
+        store.create("ExecService", "j1", _state(1))
+        assert store.exists("ExecService", "j1")
+        assert store.load("ExecService", "j1")[_CPU] == 1.0
+        new_state = dict(_state(1))
+        new_state[_CPU] = 9.5
+        store.save("ExecService", "j1", new_state)
+        assert store.load("ExecService", "j1")[_CPU] == 9.5
+        store.destroy("ExecService", "j1")
+        assert not store.exists("ExecService", "j1")
+
+    def test_missing_resource_raises(self, store_cls):
+        store = store_cls()
+        with pytest.raises(NoSuchResource):
+            store.load("S", "nope")
+        with pytest.raises(NoSuchResource):
+            store.save("S", "nope", {})
+        with pytest.raises(NoSuchResource):
+            store.destroy("S", "nope")
+
+    def test_list_ids_scoped_by_service(self, store_cls):
+        store = store_cls()
+        store.create("A", "r2", _state(0))
+        store.create("A", "r1", _state(1))
+        store.create("B", "r9", _state(2))
+        assert store.list_ids("A") == ["r1", "r2"]
+        assert store.list_ids("B") == ["r9"]
+        assert store.list_ids("C") == []
+
+    def test_scan_query_finds_matches(self, store_cls):
+        store = store_cls()
+        for i in range(9):
+            store.create("ES", f"j{i}", _state(i))
+        hits = store.scan_query("ES", "Status[.='Exited']")
+        ids = [rid for rid, _ in hits]
+        assert ids == ["j0", "j3", "j6"]
+
+    def test_scan_query_no_matches(self, store_cls):
+        store = store_cls()
+        store.create("ES", "j1", _state(1))
+        assert store.scan_query("ES", "Status[.='Bogus']") == []
+
+    def test_counters(self, store_cls):
+        store = store_cls()
+        store.create("S", "r", _state(0))
+        store.load("S", "r")
+        store.save("S", "r", _state(1))
+        store.scan_query("S", "Status")
+        assert store.loads == 1
+        assert store.saves == 2
+        assert store.scans == 1
+
+    def test_stores_agree_on_query_results(self, store_cls):
+        """Cross-check: both backends must answer queries identically."""
+        blob, xml = BlobResourceStore(), XmlResourceStore()
+        for i in range(12):
+            blob.create("ES", f"j{i}", _state(i))
+            xml.create("ES", f"j{i}", _state(i))
+        q = "Owner[.='user1']"
+        blob_ids = [rid for rid, _ in blob.scan_query("ES", q)]
+        xml_ids = [rid for rid, _ in xml.scan_query("ES", q)]
+        assert blob_ids == xml_ids
+
+    def test_xml_duplicate_create_rejected(self, store_cls):
+        store = store_cls()
+        store.create("S", "r", _state(0))
+        with pytest.raises((ValueError, DbError)):
+            store.create("S", "r", _state(1))

@@ -1,0 +1,218 @@
+"""Failure-injection tests: the testbed under partial failure.
+
+The paper's testbed ran on a real campus network where machines reboot
+and links drop.  These tests inject failures into the simulated fabric
+and assert the system degrades the way a message-based architecture
+should: faults surface as DeliveryErrors/SoapFaults at the caller,
+unaffected machines keep working, and one-way messages are lost silently
+(the documented WS-Notification delivery semantics).
+"""
+
+import pytest
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.gridapp.execution_service import parse_job_event
+from repro.net import DeliveryError
+from repro.osim.programs import make_compute_program
+from repro.soap import SoapFault
+from repro.wsrf.basefaults import BaseFault
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+
+
+@pytest.fixture()
+def testbed():
+    tb = Testbed(n_machines=3, seed=31)
+    tb.programs.register(make_compute_program("quick", 1.0, outputs={"o": b"1"}))
+    tb.programs.register(make_compute_program("slow", 60.0, outputs={"o": b"1"}))
+    return tb
+
+
+def _one_job(client, tb, program="quick"):
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get(program))
+    spec.add(JobSpec(name="j1", executable=FileRef(exe, "job.exe")))
+    return spec
+
+
+class TestHostFailures:
+    def test_scheduler_host_down_faults_submission(self, testbed):
+        client = testbed.make_client()
+        testbed.central.host.down = True
+        with pytest.raises(DeliveryError, match="down"):
+            testbed.run(client.submit(_one_job(client, testbed)))
+
+    def test_down_machine_not_used_after_nis_catalog_reflects_it(self, testbed):
+        """Take a grid node down: job sets still complete on the others."""
+        victim = testbed.machines[2]
+        victim.host.down = True
+        # Remove it from the catalog the way an admin would (its
+        # utilization service can no longer be heard from anyway).
+        group_rid = testbed.node_info.nis_group_rid
+        state = testbed.node_info.store.load("NodeInfo", group_rid)
+        key = QName(NS.WSRF_SG, "entry_ids")
+        entries = state[key]
+        kept = []
+        for rid in entries:
+            est = testbed.node_info.store.load("NodeInfo", rid)
+            content = est.get(QName(NS.WSRF_SG, "content"))
+            from repro.gridapp.node_info import parse_processor_content
+
+            if parse_processor_content(content)["name"] != victim.name:
+                kept.append(rid)
+        state[key] = kept
+        testbed.node_info.store.save("NodeInfo", group_rid, state)
+
+        client = testbed.make_client()
+        outcome, jobset_epr, _ = testbed.run_job_set(client, _one_job(client, testbed))
+        assert outcome == "completed"
+        rid = jobset_epr.get(QName(UVA, "ResourceID"))
+        placement = testbed.scheduler.store.load("Scheduler", rid)[
+            QName(UVA, "job_machine")
+        ]
+        assert placement["j1"] != victim.name
+
+    def test_partition_between_scheduler_and_es(self, testbed):
+        """Partition the chosen node from central mid-submission: the
+        dispatch faults and the Scheduler marks the job set failed."""
+        client = testbed.make_client()
+        # Partition every grid node from central so any dispatch fails.
+        for machine in testbed.machines:
+            testbed.network.partition("uvacg-central", machine.name)
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(_one_job(client, testbed))
+            outcome = yield from client.wait_for_completion(topic)
+            return outcome, jobset_epr
+
+        outcome, jobset_epr = testbed.run(scenario())
+        assert outcome == "failed"
+        status = testbed.run(
+            client.soap.get_resource_property(jobset_epr, QName(UVA, "Status"))
+        )
+        assert status == "Failed"
+
+    def test_healing_partition_restores_service(self, testbed):
+        client = testbed.make_client()
+        for machine in testbed.machines:
+            testbed.network.partition("uvacg-central", machine.name)
+        outcome, _, _ = testbed.run_job_set(client, _one_job(client, testbed))
+        assert outcome == "failed"
+        for machine in testbed.machines:
+            testbed.network.heal("uvacg-central", machine.name)
+        outcome, _, _ = testbed.run_job_set(client, _one_job(client, testbed))
+        assert outcome == "completed"
+
+
+class TestLostNotifications:
+    def test_client_listener_down_does_not_break_the_jobset(self, testbed):
+        """Broker -> client notifications are one-way; if the client's
+        listener is unreachable the job set still completes (the
+        Scheduler's own subscription drives progress)."""
+        client = testbed.make_client()
+        spec = _one_job(client, testbed)
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(spec)
+            # The client goes away (its listener port unbinds).
+            client.listener.close()
+            yield testbed.env.timeout(30.0)
+            status = yield from client.soap.get_resource_property(
+                jobset_epr, QName(UVA, "Status")
+            )
+            return status
+
+        # Undelivered one-way notifications surface as failed detached
+        # processes when the schedule drains; the scheduler must still
+        # have driven the job set to completion.
+        try:
+            status = testbed.run(scenario())
+        except DeliveryError:
+            pytest.fail("lost client listener must not fault the testbed flow")
+        assert status == "Completed"
+
+
+class TestJobLevelFailures:
+    def test_missing_input_file_fails_job(self, testbed):
+        """The executable references a client file that does not exist:
+        staging faults, the job never starts, the job set fails."""
+        client = testbed.make_client()
+        spec = client.new_job_set()
+        exe = client.add_program_binary(testbed.programs.get("quick"))
+        spec.add(
+            JobSpec(
+                name="j1",
+                executable=FileRef(exe, "job.exe"),
+                inputs=[FileRef("local://c:/data/ghost.dat", "in.dat")],
+            )
+        )
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(spec)
+            yield testbed.env.timeout(30.0)
+            progress = yield from client.soap.get_resource_property(
+                jobset_epr, QName(UVA, "Progress")
+            )
+            return progress
+
+        progress = testbed.run(scenario())
+        # The upload faulted server-side; the job cannot have completed.
+        assert progress["done"] == 0
+
+    def test_unregistered_program_fails_jobset(self, testbed):
+        client = testbed.make_client()
+        spec = client.new_job_set()
+        exe_url = client.add_local_file("c:/data/mystery.exe",
+                                        b"#!uva-program:never-registered\n")
+        spec.add(JobSpec(name="j1", executable=FileRef(exe_url, "job.exe")))
+        outcome, _, _ = testbed.run_job_set(client, spec)
+        assert outcome == "failed"
+
+    def test_failed_job_reports_spawn_detail(self, testbed):
+        client = testbed.make_client(username="wrong", password="creds")
+        spec = _one_job(client, testbed)
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(spec)
+            outcome = yield from client.wait_for_completion(topic)
+            return outcome
+
+        assert testbed.run(scenario()) == "failed"
+        testbed.settle()
+        exited = [
+            parse_job_event(n.payload)
+            for n in client.listener.received
+            if parse_job_event(n.payload).get("kind") == "JobExited"
+        ]
+        assert exited and exited[0]["exit_code"] == -2
+        assert "authentication" in exited[0].get("detail", "").lower()
+
+    def test_killing_machine_midjob_leaves_job_running_state(self, testbed):
+        """A node dies while its job runs: the job set never completes,
+        and the job's last known status remains Running (the §5 coupling
+        problem: the client's view can go stale)."""
+        client = testbed.make_client()
+        spec = _one_job(client, testbed, program="slow")
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(spec)
+            yield testbed.env.timeout(10.0)
+            # Find where it runs, and kill that machine's power.
+            rid = jobset_epr.get(QName(UVA, "ResourceID"))
+            state = testbed.scheduler.store.load("Scheduler", rid)
+            where = state[QName(UVA, "job_machine")]["j1"]
+            machine = next(m for m in testbed.machines if m.name == where)
+            machine.host.down = True
+            for process in machine.procspawn.processes:
+                process.kill()  # power loss: processes die with the host
+            yield testbed.env.timeout(30.0)
+            status = yield from client.soap.get_resource_property(
+                jobset_epr, QName(UVA, "Status")
+            )
+            return status
+
+        # The job's exit notification cannot escape the dead host, so
+        # the scheduler still believes the set is running.
+        status = testbed.run(scenario())
+        assert status == "Running"

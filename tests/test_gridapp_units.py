@@ -1,0 +1,257 @@
+"""Unit tests for the gridapp building blocks (specs, tracing, policy)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gridapp.execution_service import _job_event, parse_job_event
+from repro.gridapp.jobset import (
+    FileRef,
+    JobSetSpec,
+    JobSetValidationError,
+    JobSpec,
+)
+from repro.gridapp.node_info import parse_processor_content, processor_content
+from repro.gridapp.scheduler import SchedulingFault, choose_machine
+from repro.gridapp.tracing import EventTrace
+from repro.sim import Environment
+from repro.wsa import EndpointReference
+
+
+def _job(name, deps=(), extra_inputs=()):
+    inputs = [FileRef(f"{dep}://out", f"{dep}.dat") for dep in deps]
+    inputs += list(extra_inputs)
+    return JobSpec(
+        name=name,
+        executable=FileRef("local://c:/exe", "job.exe"),
+        inputs=inputs,
+        outputs=["out"],
+    )
+
+
+class TestFileRef:
+    def test_local_scheme_no_dependency(self):
+        ref = FileRef("local://c:\\file1", "input1")
+        assert ref.scheme() == "local"
+        assert ref.depends_on({"job1": "job1"}) is None
+
+    def test_job_reference_case_insensitive(self):
+        ref = FileRef("AlignA://output2", "in.dat")
+        assert ref.depends_on({"aligna": "alignA"}) == "alignA"
+
+    def test_unknown_job_reference(self):
+        ref = FileRef("ghost://f", "in")
+        assert ref.depends_on({"job1": "job1"}) is None
+
+    def test_wire_roundtrip(self):
+        ref = FileRef("job1://output2", "input.dat")
+        assert FileRef.from_wire(ref.to_wire()) == ref
+
+
+class TestJobSetValidation:
+    def test_valid_dag(self):
+        spec = JobSetSpec()
+        spec.add(_job("a"))
+        spec.add(_job("b", deps=["a"]))
+        spec.add(_job("c", deps=["a", "b"]))
+        spec.validate()
+        assert spec.topological_order() == ["a", "b", "c"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(JobSetValidationError, match="empty"):
+            JobSetSpec().validate()
+
+    def test_duplicate_names_rejected(self):
+        spec = JobSetSpec()
+        spec.add(_job("a"))
+        spec.add(_job("a"))
+        with pytest.raises(JobSetValidationError, match="duplicate"):
+            spec.validate()
+
+    def test_case_colliding_names_rejected(self):
+        spec = JobSetSpec()
+        spec.add(_job("Task"))
+        spec.add(_job("task"))
+        with pytest.raises(JobSetValidationError, match="case-insensitively"):
+            spec.validate()
+
+    def test_reserved_name_rejected(self):
+        spec = JobSetSpec()
+        spec.add(_job("local"))
+        with pytest.raises(JobSetValidationError, match="reserved"):
+            spec.validate()
+
+    def test_unknown_reference_rejected(self):
+        spec = JobSetSpec()
+        spec.add(_job("a", deps=["ghost"]))
+        with pytest.raises(JobSetValidationError, match="ghost"):
+            spec.validate()
+
+    def test_self_dependency_rejected(self):
+        spec = JobSetSpec()
+        spec.add(_job("a", deps=["a"]))
+        with pytest.raises(JobSetValidationError, match="itself"):
+            spec.validate()
+
+    def test_cycle_rejected(self):
+        spec = JobSetSpec()
+        spec.add(_job("a", deps=["b"]))
+        spec.add(_job("b", deps=["a"]))
+        with pytest.raises(JobSetValidationError, match="cycle"):
+            spec.validate()
+
+    def test_wire_roundtrip_preserves_structure(self):
+        spec = JobSetSpec()
+        spec.add(_job("a"))
+        spec.add(_job("b", deps=["a"]))
+        again = JobSetSpec.from_wire(spec.to_wire())
+        assert [j.name for j in again.jobs] == ["a", "b"]
+        assert again.jobs[1].dependencies(again.name_map()) == ["a"]
+
+    def test_job_lookup(self):
+        spec = JobSetSpec()
+        job = spec.add(_job("a"))
+        assert spec.job("a") is job
+        with pytest.raises(KeyError):
+            spec.job("zzz")
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=11), min_size=1, max_size=12, unique=True
+        ).flatmap(
+            lambda ids: st.tuples(
+                st.just(ids),
+                st.lists(
+                    st.tuples(
+                        st.sampled_from(ids), st.sampled_from(ids)
+                    ).filter(lambda e: e[0] < e[1]),
+                    max_size=20,
+                ),
+            )
+        )
+    )
+    def test_topological_order_property(self, ids_edges):
+        """For random DAGs (edges always low->high id), every dependency
+        precedes its dependent in the computed order."""
+        ids, edges = ids_edges
+        spec = JobSetSpec()
+        deps_of = {i: sorted({a for a, b in edges if b == i and a in ids}) for i in ids}
+        for i in ids:
+            spec.add(_job(f"j{i}", deps=[f"j{d}" for d in deps_of[i]]))
+        order = spec.topological_order()
+        position = {name: k for k, name in enumerate(order)}
+        assert sorted(position) == sorted(f"j{i}" for i in ids)
+        for i in ids:
+            for d in deps_of[i]:
+                assert position[f"j{d}"] < position[f"j{i}"]
+
+
+class TestJobEvents:
+    def test_roundtrip_full(self):
+        epr = EndpointReference("http://n/ES", {"id": "1"})
+        dir_epr = EndpointReference("http://n/FS", {"id": "2"})
+        event = _job_event("JobExited", "job1", exit_code=3, job_epr=epr,
+                           dir_epr=dir_epr, detail="boom")
+        parsed = parse_job_event(event)
+        assert parsed == {
+            "kind": "JobExited",
+            "job_name": "job1",
+            "exit_code": 3,
+            "job_epr": epr,
+            "dir_epr": dir_epr,
+            "detail": "boom",
+        }
+
+    def test_minimal_event(self):
+        parsed = parse_job_event(_job_event("JobCreated", "j"))
+        assert parsed == {"kind": "JobCreated", "job_name": "j"}
+
+
+class TestProcessorContent:
+    def test_roundtrip(self):
+        el = processor_content("node03", 2.5, 512, 0.75, 42.5)
+        info = parse_processor_content(el)
+        assert info == {
+            "name": "node03",
+            "cpu_speed": 2.5,
+            "ram_mb": 512,
+            "utilization": 0.75,
+            "updated_at": 42.5,
+        }
+
+    def test_defaults_on_sparse_content(self):
+        from repro.xmlx import Element, QName, NS
+
+        info = parse_processor_content(Element(QName(NS.UVACG, "ProcessorInfo")))
+        assert info["cpu_speed"] == 1.0 and info["utilization"] == 0.0
+
+
+def _proc(name, speed, util, queued=None):
+    out = {"name": name, "cpu_speed": speed, "ram_mb": 512,
+           "utilization": util, "updated_at": 0.0}
+    if queued is not None:
+        out["queued"] = queued
+    return out
+
+
+class TestChooseMachine:
+    def test_best_prefers_fast_idle(self):
+        procs = [_proc("a", 1.0, 0.0), _proc("b", 2.0, 0.0), _proc("c", 2.0, 0.9)]
+        assert choose_machine(procs, "best")["name"] == "b"
+
+    def test_best_accounts_for_queue_depth(self):
+        procs = [_proc("a", 1.0, 0.0, queued=0), _proc("b", 3.0, 0.0, queued=4)]
+        assert choose_machine(procs, "best")["name"] == "a"
+
+    def test_best_queue_matters_on_busy_machines(self):
+        procs = [_proc("a", 1.0, 1.0, queued=3), _proc("b", 1.0, 1.0, queued=1)]
+        assert choose_machine(procs, "best")["name"] == "b"
+
+    def test_best_deterministic_tiebreak(self):
+        procs = [_proc("a", 1.0, 0.0), _proc("b", 1.0, 0.0)]
+        assert choose_machine(procs, "best")["name"] == "b"  # max name
+
+    def test_roundrobin_cycles(self):
+        procs = [_proc("a", 1.0, 0.0), _proc("b", 1.0, 0.0)]
+        state = {"next": 0}
+        picks = [choose_machine(procs, "roundrobin", rr_state=state)["name"]
+                 for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_random_needs_rng(self):
+        with pytest.raises(SchedulingFault, match="RNG"):
+            choose_machine([_proc("a", 1, 0)], "random")
+
+    def test_random_seeded(self):
+        import numpy as np
+
+        procs = [_proc(f"m{i}", 1.0, 0.0) for i in range(5)]
+        a = [choose_machine(procs, "random", rng=np.random.default_rng(1))["name"]
+             for _ in range(1)]
+        b = [choose_machine(procs, "random", rng=np.random.default_rng(1))["name"]
+             for _ in range(1)]
+        assert a == b
+
+    def test_empty_catalog_faults(self):
+        with pytest.raises(SchedulingFault, match="no processors"):
+            choose_machine([], "best")
+
+    def test_unknown_policy_faults(self):
+        with pytest.raises(SchedulingFault, match="unknown scheduling policy"):
+            choose_machine([_proc("a", 1, 0)], "optimal")
+
+
+class TestEventTrace:
+    def test_record_and_query(self):
+        env = Environment()
+        trace = EventTrace(env)
+        trace.record(1, "client", "submit")
+        env._now = 5.0
+        trace.record(3, "scheduler")
+        trace.record(1, "client", "again")
+        assert trace.steps() == [1, 3, 1]
+        assert trace.first_occurrence_order() == [1, 3]
+        assert len(trace.events_for_step(1)) == 2
+        assert "step  3" in trace.format()
+        trace.clear()
+        assert trace.steps() == []

@@ -1,0 +1,329 @@
+"""Tests for the simulated network fabric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (
+    DeliveryError,
+    Network,
+    NetworkParams,
+    PortInUse,
+    Uri,
+    UriError,
+)
+from repro.sim import Environment
+
+
+class TestUri:
+    @pytest.mark.parametrize(
+        "text,scheme,host,port,path",
+        [
+            ("http://node1:80/FSS", "http", "node1", 80, "/FSS"),
+            ("http://node1/FSS", "http", "node1", 80, "/FSS"),
+            ("soap.tcp://client-3:9000/files", "soap.tcp", "client-3", 9000, "/files"),
+            ("soap.tcp://client-3", "soap.tcp", "client-3", 8081, "/"),
+            ("HTTP://N1/x", "http", "N1", 80, "/x"),
+        ],
+    )
+    def test_parse_network_uris(self, text, scheme, host, port, path):
+        uri = Uri.parse(text)
+        assert (uri.scheme, uri.host, uri.port, uri.path) == (scheme, host, port, path)
+        assert uri.is_network
+
+    def test_local_scheme(self):
+        uri = Uri.parse("local://c:\\data\\file1")
+        assert uri.scheme == "local"
+        assert uri.path == "c:\\data\\file1"
+        assert not uri.is_network
+
+    def test_job_scheme(self):
+        uri = Uri.parse("job1://output2")
+        assert uri.scheme == "job1"
+        assert uri.path == "output2"
+        assert not uri.is_network
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["no-scheme", "http://", "http://host:notaport/x", "http://host:0/x", "://x"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(UriError):
+            Uri.parse(bad)
+
+    def test_unparse_roundtrip(self):
+        for text in [
+            "http://node1:80/FSS",
+            "soap.tcp://c:9000/f",
+            "local://tmp/x",
+            "job2://out",
+        ]:
+            assert Uri.parse(Uri.parse(text).unparse()) == Uri.parse(text)
+
+
+class _EchoServer:
+    """Echoes the payload back, optionally with a fixed service delay."""
+
+    def __init__(self, env, delay=0.0, log=None):
+        self.env = env
+        self.delay = delay
+        self.log = log if log is not None else []
+
+    def handle(self, payload, ctx):
+        self.log.append((self.env.now, payload, ctx))
+        if self.delay:
+            yield self.env.timeout(self.delay)
+        return f"echo:{payload}"
+
+
+def _fabric(n_hosts=2, params=None):
+    env = Environment()
+    net = Network(env, params=params)
+    hosts = [net.add_host(f"node{i}") for i in range(n_hosts)]
+    return env, net, hosts
+
+
+def _run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+class TestRequestResponse:
+    def test_roundtrip_payload(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        reply = _run(env, net.request("node0", "http://node1:80/svc", "hello"))
+        assert reply == "echo:hello"
+        assert env.now > 0
+
+    def test_unknown_host_rejected(self):
+        env, net, _ = _fabric()
+        with pytest.raises(DeliveryError, match="unknown host"):
+            _run(env, net.request("node0", "http://ghost/x", "m"))
+
+    def test_connection_refused(self):
+        env, net, _ = _fabric()
+        with pytest.raises(DeliveryError, match="refused"):
+            _run(env, net.request("node0", "http://node1:81/x", "m"))
+
+    def test_down_host(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        b.down = True
+        with pytest.raises(DeliveryError, match="down"):
+            _run(env, net.request("node0", "http://node1/x", "m"))
+
+    def test_partition_and_heal(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        net.partition("node0", "node1")
+        with pytest.raises(DeliveryError, match="partition"):
+            _run(env, net.request("node0", "http://node1/x", "m"))
+        net.heal("node0", "node1")
+        assert _run(env, net.request("node0", "http://node1/x", "m")) == "echo:m"
+
+    def test_non_network_uri_rejected(self):
+        env, net, _ = _fabric()
+        with pytest.raises(DeliveryError):
+            _run(env, net.request("node0", "local://c:/file", "m"))
+
+    def test_server_delay_adds_to_latency(self):
+        env1, net1, (_, b1) = _fabric()
+        b1.bind(80, _EchoServer(env1, delay=0.0))
+        _run(env1, net1.request("node0", "http://node1/x", "m"))
+        fast = env1.now
+
+        env2, net2, (_, b2) = _fabric()
+        b2.bind(80, _EchoServer(env2, delay=0.5))
+        _run(env2, net2.request("node0", "http://node1/x", "m"))
+        assert env2.now == pytest.approx(fast + 0.5, rel=1e-6)
+
+    def test_large_payload_takes_longer(self):
+        env1, net1, (_, b1) = _fabric()
+        b1.bind(80, _EchoServer(env1))
+        _run(env1, net1.request("node0", "http://node1/x", "m"))
+        small = env1.now
+
+        env2, net2, (_, b2) = _fabric()
+        b2.bind(80, _EchoServer(env2))
+        _run(env2, net2.request("node0", "http://node1/x", "m" * 1_000_000))
+        assert env2.now > small + 0.05  # ≥ 1MB at 12.5MB/s each way
+
+
+class TestOneWay:
+    def test_sender_does_not_wait_for_handler(self):
+        env, net, (a, b) = _fabric()
+        log = []
+        b.bind(80, _EchoServer(env, delay=10.0, log=log))
+
+        def sender(env):
+            yield from net.send_one_way("node0", "http://node1/x", "note")
+            return env.now
+
+        sent_at = _run(env, sender(env))
+        assert sent_at < 1.0  # returned long before the 10 s handler finished
+        env.run()
+        assert len(log) == 1
+
+    def test_handler_exception_does_not_reach_sender(self):
+        env, net, (a, b) = _fabric()
+
+        class Bad:
+            def handle(self, payload, ctx):
+                yield env.timeout(0)
+                raise RuntimeError("server-side boom")
+
+        b.bind(80, Bad())
+
+        def sender(env):
+            yield from net.send_one_way("node0", "http://node1/x", "note")
+            return "sent ok"
+
+        assert _run(env, sender(env)) == "sent ok"
+        # Draining the schedule surfaces the handler's failure.
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_one_way_ctx_flag(self):
+        env, net, (a, b) = _fabric()
+        log = []
+        b.bind(80, _EchoServer(env, log=log))
+        _run(env, net.send_one_way("node0", "http://node1/x", "n"))
+        env.run()
+        assert log[0][2].one_way is True
+
+
+class TestSoapTcpSessions:
+    def test_second_message_skips_handshake(self):
+        env, net, (a, b) = _fabric()
+        b.bind(9000, _EchoServer(env))
+
+        def pair(env):
+            t0 = env.now
+            yield from net.request("node0", "soap.tcp://node1:9000/x", "m")
+            first = env.now - t0
+            t1 = env.now
+            yield from net.request("node0", "soap.tcp://node1:9000/x", "m")
+            second = env.now - t1
+            return first, second
+
+        first, second = _run(env, pair(env))
+        assert second < first
+        assert first - second == pytest.approx(
+            net.params.soaptcp_connect_s + net.params.latency_s, rel=1e-6
+        )
+
+    def test_http_pays_handshake_every_time(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+
+        def pair(env):
+            t0 = env.now
+            yield from net.request("node0", "http://node1/x", "m")
+            first = env.now - t0
+            t1 = env.now
+            yield from net.request("node0", "http://node1/x", "m")
+            return first, env.now - t1
+
+        first, second = _run(env, pair(env))
+        assert first == pytest.approx(second, rel=1e-9)
+
+    def test_drop_tcp_sessions_forces_reconnect(self):
+        env, net, (a, b) = _fabric()
+        b.bind(9000, _EchoServer(env))
+
+        def scenario(env):
+            yield from net.request("node0", "soap.tcp://node1:9000/x", "m")
+            net.drop_tcp_sessions("node1")
+            t = env.now
+            yield from net.request("node0", "soap.tcp://node1:9000/x", "m")
+            return env.now - t
+
+        after_drop = _run(env, scenario(env))
+        assert after_drop > net.params.soaptcp_connect_s
+
+
+class TestNicSerialization:
+    def test_concurrent_sends_queue_fifo(self):
+        """Two simultaneous 1 MB sends from one host take ~2x one send."""
+        payload = "x" * 1_000_000
+
+        def one_transfer_time():
+            env, net, (a, b) = _fabric()
+            b.bind(80, _EchoServer(env))
+            _run(env, net.send_one_way("node0", "http://node1/x", payload))
+            return env.now  # sender completion (excludes receiver parse)
+
+        solo = one_transfer_time()
+
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        done = []
+
+        def sender(env):
+            yield from net.send_one_way("node0", "http://node1/x", payload)
+            done.append(env.now)
+
+        env.process(sender(env))
+        env.process(sender(env))
+        env.run()
+        # The second send queues behind the first on the NIC, so it finishes
+        # one full wire-transfer later (XML CPU costs overlap, wire does not).
+        wire = net.params.transfer_time(len(payload), net.params.http_overhead_B)
+        assert max(done) - solo >= wire * 0.9
+
+
+class TestStats:
+    def test_counters(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        _run(env, net.request("node0", "http://node1/x", "hello", category="job"))
+        assert net.stats.messages == 2  # request + response
+        assert net.stats.by_scheme["http"] == 2
+        assert net.stats.by_category["job"] == 2
+        assert net.stats.bytes > len("hello")
+
+    def test_reset(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        _run(env, net.request("node0", "http://node1/x", "hello"))
+        net.stats.reset()
+        assert net.stats.messages == 0 and net.stats.bytes == 0
+
+
+class TestHost:
+    def test_duplicate_host_rejected(self):
+        env = Environment()
+        net = Network(env)
+        net.add_host("n")
+        with pytest.raises(ValueError):
+            net.add_host("n")
+
+    def test_port_in_use(self):
+        env, net, (a, _) = _fabric()
+        a.bind(80, _EchoServer(env))
+        with pytest.raises(PortInUse):
+            a.bind(80, _EchoServer(env))
+        a.unbind(80)
+        a.bind(80, _EchoServer(env))
+
+    def test_bind_requires_handler(self):
+        env, net, (a, _) = _fabric()
+        with pytest.raises(TypeError):
+            a.bind(80, object())
+
+
+class TestTransferTimeProperties:
+    @given(size=st.integers(min_value=0, max_value=10**8))
+    def test_transfer_time_monotone(self, size):
+        p = NetworkParams()
+        assert p.transfer_time(size + 1, 0) > p.transfer_time(size, 0) - 1e-12
+        assert p.transfer_time(size, 0) >= 0
+
+    @given(size=st.integers(min_value=1, max_value=10**7))
+    def test_soaptcp_beats_http_per_message_overhead(self, size):
+        p = NetworkParams()
+        assert p.transfer_time(size, p.soaptcp_overhead_B) < p.transfer_time(
+            size, p.http_overhead_B
+        )

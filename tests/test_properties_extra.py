@@ -1,0 +1,143 @@
+"""Extra property-based tests on cross-cutting invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.wsn.topics import (
+    CONCRETE_DIALECT,
+    FULL_DIALECT,
+    SIMPLE_DIALECT,
+    TopicExpression,
+)
+from repro.db import Column, Database
+from repro.net import NetworkParams
+from repro.sim import Environment
+from repro.wsa import EndpointReference
+from repro.xmlx import QName
+
+_seg = st.sampled_from(["a", "b", "c", "js-1", "job2", "status"])
+_path = st.lists(_seg, min_size=1, max_size=4).map("/".join)
+
+
+class TestTopicProperties:
+    @given(_path)
+    def test_concrete_matches_itself_only(self, path):
+        expr = TopicExpression(path, CONCRETE_DIALECT)
+        assert expr.matches(path)
+        assert not expr.matches(path + "/extra")
+
+    @given(_path, _path)
+    def test_simple_matches_by_root(self, base, rest):
+        root = base.split("/")[0]
+        expr = TopicExpression(root, SIMPLE_DIALECT)
+        assert expr.matches(f"{root}/{rest}")
+        assert expr.matches(root)
+
+    @given(_path)
+    def test_full_doublestar_matches_everything_below(self, path):
+        root = path.split("/")[0]
+        expr = TopicExpression(f"{root}/**", FULL_DIALECT)
+        assert expr.matches(path) == (path.split("/")[0] == root)
+
+    @given(_path)
+    def test_star_matches_exactly_one_segment(self, path):
+        segments = path.split("/")
+        assume(len(segments) >= 2)
+        pattern = "/".join(["*"] + segments[1:])
+        expr = TopicExpression(pattern, FULL_DIALECT)
+        assert expr.matches(path)
+        assert not expr.matches("/".join(segments + ["extra"]))
+
+    @given(_path, _path)
+    def test_full_literal_equals_concrete(self, pattern, path):
+        """A Full-dialect expression without wildcards behaves exactly
+        like the Concrete dialect."""
+        full = TopicExpression(pattern, FULL_DIALECT)
+        concrete = TopicExpression(pattern, CONCRETE_DIALECT)
+        assert full.matches(path) == concrete.matches(path)
+
+
+class TestEprProperties:
+    @given(
+        st.text(alphabet="abcdxyz", min_size=1, max_size=8),
+        st.dictionaries(
+            st.text(alphabet="kmn", min_size=1, max_size=4),
+            st.text(alphabet="v0123 <&>'\"", max_size=10),
+            max_size=4,
+        ),
+    )
+    def test_epr_xml_roundtrip(self, hostpart, props):
+        epr = EndpointReference(
+            f"http://{hostpart}:80/Svc",
+            {QName("http://t", k): v for k, v in props.items()},
+        )
+        from repro.xmlx import parse, to_string
+
+        again = EndpointReference.from_xml(parse(to_string(epr.to_xml())))
+        assert again == epr
+        assert hash(again) == hash(epr)
+
+
+class TestDbProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.sampled_from(["R", "E", "K"]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_insert_then_select_consistency(self, rows):
+        db = Database()
+        t = db.create_table(
+            "jobs",
+            [Column("id", "INTEGER", primary_key=True), Column("s", "TEXT")],
+        )
+        inserted = {}
+        for key, status in rows:
+            if key in inserted:
+                continue
+            t.insert({"id": key, "s": status})
+            inserted[key] = status
+        assert len(t) == len(inserted)
+        for key, status in inserted.items():
+            assert t.get(key)["s"] == status
+        for status in ("R", "E", "K"):
+            expected = sorted(k for k, v in inserted.items() if v == status)
+            got = sorted(r["id"] for r in t.select(equals={"s": status}))
+            assert got == expected
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=25)
+    )
+    def test_delete_is_complement_of_select(self, keys):
+        db = Database()
+        t = db.create_table("t", [Column("id", "INTEGER", primary_key=True)])
+        unique = sorted(set(keys))
+        for key in unique:
+            t.insert({"id": key})
+        evens = [k for k in unique if k % 2 == 0]
+        deleted = t.delete(where=lambda r: r["id"] % 2 == 0)
+        assert deleted == len(evens)
+        remaining = sorted(r["id"] for r in t.select())
+        assert remaining == [k for k in unique if k % 2 == 1]
+
+
+class TestNetworkParamProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_transfer_time_additive(self, a, b):
+        p = NetworkParams()
+        combined = p.transfer_time(a + b, 0)
+        split = p.transfer_time(a, 0) + p.transfer_time(b, 0)
+        assert abs(combined - split) < 1e-6
+
+    @given(st.floats(min_value=0, max_value=3600, allow_nan=False))
+    def test_sim_clock_never_rewinds(self, horizon):
+        env = Environment()
+        env.timeout(horizon / 2)
+        env.run(until=horizon)
+        assert env.now == horizon

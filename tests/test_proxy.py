@@ -1,0 +1,122 @@
+"""Tests for WSDL-driven proxy generation."""
+
+import pytest
+
+from repro.net import Network
+from repro.osim import Machine
+from repro.sim import Environment
+from repro.wsrf import (
+    GetMultipleResourcePropertiesPortType,
+    GetResourcePropertyPortType,
+    ImmediateResourceTerminationPortType,
+    QueryResourcePropertiesPortType,
+    Resource,
+    ResourceProperty,
+    ResourceUnknownFault,
+    ScheduledResourceTerminationPortType,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+    WsrfClient,
+    deploy,
+    generate_wsdl,
+)
+from repro.wsrf.proxy import ServiceProxy, build_proxy
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+
+
+@WSRFPortType(
+    GetResourcePropertyPortType,
+    GetMultipleResourcePropertiesPortType,
+    QueryResourcePropertiesPortType,
+    ImmediateResourceTerminationPortType,
+    ScheduledResourceTerminationPortType,
+)
+class Thermostat(ServiceSkeleton):
+    setpoint = Resource(default=20.0)
+
+    @ResourceProperty
+    @property
+    def Setpoint(self) -> float:
+        return self.setpoint
+
+    @WebMethod(requires_resource=False)
+    def Create(self):
+        return self.epr_for(self.create_resource())
+
+    @WebMethod
+    def Adjust(self, delta: float) -> float:
+        self.setpoint = self.setpoint + delta
+        return self.setpoint
+
+
+@pytest.fixture()
+def fabric():
+    env = Environment()
+    net = Network(env)
+    machine = Machine(net, "server")
+    wrapper = deploy(Thermostat, machine, "Thermo")
+    net.add_host("client")
+    client = WsrfClient(net, "client")
+    wsdl = generate_wsdl(wrapper)
+    return env, wrapper, client, wsdl
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+class TestProxy:
+    def test_author_method_call(self, fabric):
+        env, wrapper, client, wsdl = fabric
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        proxy = build_proxy(client, wsdl, epr)
+        assert run(env, proxy.Adjust(delta=1.5)) == 21.5
+        assert run(env, proxy.Adjust(delta=-0.5)) == 21.0
+
+    def test_spec_operations_bound(self, fabric):
+        env, wrapper, client, wsdl = fabric
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        proxy = build_proxy(client, wsdl, epr)
+        assert run(env, proxy.GetResourceProperty(QName(UVA, "Setpoint"))) == 20.0
+        hits = run(env, proxy.QueryResourceProperties("//Setpoint/text()"))
+        assert hits == ["20.0"]
+        new_time = run(env, proxy.SetTerminationTime(500.0))
+        assert new_time == 500.0
+        run(env, proxy.Destroy())
+        with pytest.raises(ResourceUnknownFault):
+            run(env, proxy.Adjust(delta=1.0))
+
+    def test_factory_via_service_level_proxy(self, fabric):
+        env, wrapper, client, wsdl = fabric
+        service_proxy = build_proxy(client, wsdl, wrapper.service_epr())
+        epr = run(env, service_proxy.Create())
+        resource_proxy = service_proxy.at(epr)
+        assert run(env, resource_proxy.Adjust(delta=2.0)) == 22.0
+        assert resource_proxy.epr == epr
+
+    def test_unknown_operation_rejected_client_side(self, fabric):
+        env, wrapper, client, wsdl = fabric
+        proxy = build_proxy(client, wsdl, wrapper.service_epr())
+        with pytest.raises(AttributeError, match="no operation 'Melt'"):
+            proxy.Melt
+
+    def test_advertised_rps_listed(self, fabric):
+        env, wrapper, client, wsdl = fabric
+        proxy = build_proxy(client, wsdl, wrapper.service_epr())
+        assert QName(UVA, "Setpoint") in proxy.advertised_resource_properties
+
+    def test_operations_enumeration(self, fabric):
+        env, wrapper, client, wsdl = fabric
+        proxy = build_proxy(client, wsdl, wrapper.service_epr())
+        ops = proxy.operations()
+        assert "Adjust" in ops and "GetResourceProperty" in ops and "Destroy" in ops
+
+    def test_repr(self, fabric):
+        env, wrapper, client, wsdl = fabric
+        proxy = build_proxy(client, wsdl, wrapper.service_epr())
+        assert "ServiceProxy" in repr(proxy)

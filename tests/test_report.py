@@ -1,0 +1,98 @@
+"""Tests for the client-side job-set report (text Gantt + summary)."""
+
+import pytest
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.gridapp.report import build_report, render_gantt, render_summary
+from repro.osim.programs import make_compute_program
+
+
+@pytest.fixture()
+def finished_run():
+    tb = Testbed(n_machines=3, seed=41)
+    tb.programs.register(make_compute_program("first", 4.0, outputs={"out": b"1"}))
+    tb.programs.register(
+        make_compute_program("second", 2.0, outputs={"fin": b"2"},
+                             required_inputs=["prev"])
+    )
+    client = tb.make_client()
+    spec = client.new_job_set()
+    exe1 = client.add_program_binary(tb.programs.get("first"))
+    exe2 = client.add_program_binary(tb.programs.get("second"))
+    spec.add(JobSpec(name="alpha", executable=FileRef(exe1, "job.exe"), outputs=["out"]))
+    spec.add(JobSpec(name="beta", executable=FileRef(exe2, "job.exe"),
+                     inputs=[FileRef("alpha://out", "prev")], outputs=["fin"]))
+    outcome, _, topic = tb.run_job_set(client, spec)
+    tb.settle()
+    assert outcome == "completed"
+    return tb, client, topic
+
+
+class TestBuildReport:
+    def test_timeline_fields(self, finished_run):
+        tb, client, topic = finished_run
+        report = build_report(client.listener.received, topic)
+        assert report.outcome == "completed"
+        assert set(report.jobs) == {"alpha", "beta"}
+        alpha, beta = report.jobs["alpha"], report.jobs["beta"]
+        for job in (alpha, beta):
+            assert job.created_at <= job.started_at <= job.exited_at
+            assert job.exit_code == 0
+            assert job.outcome == "ok"
+            assert job.staging_s >= 0 and job.running_s > 0
+        # beta depends on alpha: it is created only after alpha exits.
+        assert beta.created_at >= alpha.exited_at
+        assert report.makespan_s is not None and report.makespan_s > 0
+
+    def test_machine_hint_extracted(self, finished_run):
+        tb, client, topic = finished_run
+        report = build_report(client.listener.received, topic)
+        assert all(j.machine_hint.startswith("node") for j in report.jobs.values())
+
+    def test_other_topics_ignored(self, finished_run):
+        tb, client, topic = finished_run
+        report = build_report(client.listener.received, "jobset-9999")
+        assert report.jobs == {} and report.outcome == "running"
+
+
+class TestRendering:
+    def test_gantt_shape(self, finished_run):
+        tb, client, topic = finished_run
+        report = build_report(client.listener.received, topic)
+        text = render_gantt(report, width=40)
+        lines = text.splitlines()
+        assert topic in lines[0] and "completed" in lines[0]
+        alpha_line = next(l for l in lines if "alpha" in l)
+        beta_line = next(l for l in lines if "beta" in l)
+        assert "#" in alpha_line and "#" in beta_line
+        # Sequencing shows up in the bars: beta's run starts after
+        # alpha's run ends (first '#' of beta right of last '#' of alpha).
+        a_bar = alpha_line.split("|")[1]
+        b_bar = beta_line.split("|")[1]
+        assert a_bar.rstrip().rfind("#") <= b_bar.find("#")
+
+    def test_gantt_empty(self):
+        from repro.gridapp.report import JobSetReport
+
+        assert "no job events" in render_gantt(JobSetReport(topic="t"))
+
+    def test_summary_lists_all_jobs(self, finished_run):
+        tb, client, topic = finished_run
+        report = build_report(client.listener.received, topic)
+        text = render_summary(report)
+        assert "alpha" in text and "beta" in text and "makespan" in text
+
+    def test_failed_job_marked(self):
+        tb = Testbed(n_machines=2, seed=43)
+        tb.programs.register(make_compute_program("bad", 0.5, exit_code=7))
+        client = tb.make_client()
+        spec = client.new_job_set()
+        exe = client.add_program_binary(tb.programs.get("bad"))
+        spec.add(JobSpec(name="doomed", executable=FileRef(exe, "job.exe")))
+        outcome, _, topic = tb.run_job_set(client, spec)
+        tb.settle()
+        assert outcome == "failed"
+        report = build_report(client.listener.received, topic)
+        assert report.outcome == "failed"
+        assert report.jobs["doomed"].outcome == "exit=7"
+        assert "X" in render_gantt(report) or "exit=7" in render_gantt(report)

@@ -1,0 +1,444 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Channel,
+    ChannelClosed,
+    Environment,
+    Event,
+    Interrupt,
+    ProcessKilled,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_event_starts_pending(self):
+        env = Environment()
+        ev = env.event()
+        assert not ev.triggered
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_succeed_carries_value(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered and ev.ok and ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_callback_after_processed_runs_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("v")
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+    def test_unhandled_failure_raises_from_run(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_value(self):
+        env = Environment()
+        t = env.timeout(1.0, value="done")
+        env.run()
+        assert t.value == "done"
+
+    def test_ordering_by_time_then_insertion(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(env, "b", 2.0))
+        env.process(proc(env, "a", 1.0))
+        env.process(proc(env, "a2", 1.0))
+        env.run()
+        assert order == ["a", "a2", "b"]
+
+
+class TestProcess:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1)
+            return "result"
+
+        p = env.process(worker(env))
+        env.run()
+        assert p.value == "result"
+
+    def test_process_waits_on_event(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter(env):
+            v = yield gate
+            log.append((env.now, v))
+
+        def opener(env):
+            yield env.timeout(3)
+            gate.succeed("open")
+
+        env.process(waiter(env))
+        env.process(opener(env))
+        env.run()
+        assert log == [(3.0, "open")]
+
+    def test_failed_event_raises_inside_process(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def waiter(env):
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env))
+        gate.fail(RuntimeError("nope"))
+        env.run()
+        assert caught == ["nope"]
+
+    def test_uncaught_process_exception_propagates(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise KeyError("missing")
+
+        env.process(bad(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_process_is_waitable(self):
+        env = Environment()
+
+        def inner(env):
+            yield env.timeout(2)
+            return 7
+
+        def outer(env):
+            v = yield env.process(inner(env))
+            return v * 2
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == 14
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        p = env.process(bad(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+        assert p.triggered and not p.ok
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                log.append((env.now, i.cause))
+
+        p = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(5)
+            p.interrupt("wake up")
+
+        env.process(interrupter(env))
+        env.run()
+        assert log == [(5.0, "wake up")]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_kill_runs_finally_blocks(self):
+        env = Environment()
+        cleaned = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            finally:
+                cleaned.append(True)
+
+        p = env.process(victim(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            p.kill("test")
+
+        env.process(killer(env))
+        env.run()
+        assert cleaned == [True]
+        assert isinstance(p.value, ProcessKilled)
+
+    def test_active_process_tracking(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(0)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestRun:
+    def test_run_until_time(self):
+        env = Environment()
+        ticks = []
+
+        def clock(env):
+            while True:
+                yield env.timeout(1)
+                ticks.append(env.now)
+
+        env.process(clock(env))
+        env.run(until=5)
+        assert ticks == [1, 2, 3, 4, 5]
+        assert env.now == 5
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(2)
+            return "x"
+
+        p = env.process(worker(env))
+        assert env.run(until=p) == "x"
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=10)
+        with pytest.raises(ValueError):
+            env.run(until=5)
+
+    def test_run_until_event_never_fires(self):
+        env = Environment()
+        ev = env.event()
+        with pytest.raises(SimulationError, match="drained"):
+            env.run(until=ev)
+
+    def test_run_until_already_triggered_event(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(9)
+        assert env.run(until=ev) == 9
+
+    def test_step_empty_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_run_advances_clock_to_deadline_when_idle(self):
+        env = Environment()
+        env.run(until=50)
+        assert env.now == 50
+
+
+class TestConditions:
+    def test_all_of_collects_values(self):
+        env = Environment()
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(2, value="b")
+        cond = AllOf(env, [t1, t2])
+        env.run(until=cond)
+        assert list(cond.value.values()) == ["a", "b"]
+        assert env.now == 2
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(10, value="slow")
+        cond = AnyOf(env, [t1, t2])
+        env.run(until=cond)
+        assert env.now == 1
+        assert cond.value == {t1: "fast"}
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        cond = AllOf(env, [])
+        assert cond.triggered and cond.value == {}
+
+    def test_all_of_propagates_failure(self):
+        env = Environment()
+        good = env.timeout(5)
+        bad = env.event()
+        cond = AllOf(env, [good, bad])
+        bad.fail(RuntimeError("dead"))
+        with pytest.raises(RuntimeError):
+            env.run(until=cond)
+
+    def test_condition_via_env_helpers(self):
+        env = Environment()
+        c = env.any_of([env.timeout(1), env.timeout(2)])
+        env.run(until=c)
+        assert env.now == 1
+        c2 = env.all_of([env.timeout(1)])
+        env.run(until=c2)
+        assert env.now == 2
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        env = Environment()
+        ch = Channel(env)
+        ch.put("m1")
+        got = []
+
+        def consumer(env):
+            v = yield ch.get()
+            got.append(v)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == ["m1"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        ch = Channel(env)
+        got = []
+
+        def consumer(env):
+            v = yield ch.get()
+            got.append((env.now, v))
+
+        def producer(env):
+            yield env.timeout(4)
+            ch.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(4.0, "late")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        ch = Channel(env)
+        for i in range(5):
+            ch.put(i)
+        got = []
+
+        def consumer(env):
+            while len(got) < 5:
+                got.append((yield ch.get()))
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_try_get(self):
+        env = Environment()
+        ch = Channel(env)
+        with pytest.raises(LookupError):
+            ch.try_get()
+        ch.put("x")
+        assert ch.try_get() == "x"
+
+    def test_len(self):
+        env = Environment()
+        ch = Channel(env)
+        assert len(ch) == 0
+        ch.put(1)
+        ch.put(2)
+        assert len(ch) == 2
+
+    def test_close_fails_waiting_getters(self):
+        env = Environment()
+        ch = Channel(env)
+        caught = []
+
+        def consumer(env):
+            try:
+                yield ch.get()
+            except ChannelClosed:
+                caught.append(True)
+
+        env.process(consumer(env))
+
+        def closer(env):
+            yield env.timeout(1)
+            ch.close()
+
+        env.process(closer(env))
+        env.run()
+        assert caught == [True]
+
+    def test_put_after_close_rejected(self):
+        env = Environment()
+        ch = Channel(env)
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.put(1)
+
+    def test_close_idempotent(self):
+        env = Environment()
+        ch = Channel(env)
+        ch.close()
+        ch.close()
+        assert ch.closed

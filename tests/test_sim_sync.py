@@ -1,0 +1,90 @@
+"""Tests for the simulation Lock primitive."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.sync import Lock
+
+
+class TestLock:
+    def test_uncontended_acquire_immediate(self):
+        env = Environment()
+        lock = Lock(env)
+        done = []
+
+        def proc(env):
+            yield lock.acquire()
+            done.append(env.now)
+            lock.release()
+
+        env.process(proc(env))
+        env.run()
+        assert done == [0.0]
+        assert not lock.locked
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        lock = Lock(env)
+        order = []
+
+        def worker(env, tag, hold):
+            yield lock.acquire()
+            order.append(tag)
+            yield env.timeout(hold)
+            lock.release()
+
+        env.process(worker(env, "a", 1.0))
+        env.process(worker(env, "b", 1.0))
+        env.process(worker(env, "c", 1.0))
+        env.run()
+        assert order == ["a", "b", "c"]
+        assert env.now == pytest.approx(3.0)
+
+    def test_mutual_exclusion_invariant(self):
+        env = Environment()
+        lock = Lock(env)
+        inside = {"count": 0, "max": 0}
+
+        def worker(env):
+            yield lock.acquire()
+            inside["count"] += 1
+            inside["max"] = max(inside["max"], inside["count"])
+            yield env.timeout(0.5)
+            inside["count"] -= 1
+            lock.release()
+
+        for _ in range(10):
+            env.process(worker(env))
+        env.run()
+        assert inside["max"] == 1
+
+    def test_release_unlocked_rejected(self):
+        env = Environment()
+        lock = Lock(env)
+        with pytest.raises(RuntimeError, match="unlocked"):
+            lock.release()
+
+    def test_handoff_does_not_unlock(self):
+        """Releasing with waiters hands the lock over directly."""
+        env = Environment()
+        lock = Lock(env)
+        log = []
+
+        def first(env):
+            yield lock.acquire()
+            yield env.timeout(1.0)
+            lock.release()
+            log.append(("first-released", lock.locked))
+
+        def second(env):
+            yield env.timeout(0.1)
+            yield lock.acquire()
+            log.append(("second-acquired", env.now))
+            lock.release()
+
+        env.process(first(env))
+        env.process(second(env))
+        env.run()
+        assert ("first-released", True) in log  # still locked at handoff
+        assert ("second-acquired", 1.0) in log
+        assert not lock.locked

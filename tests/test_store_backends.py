@@ -1,0 +1,166 @@
+"""Pluggable WS-Resource state backends (paper §3's future work).
+
+"the next version (2.0) will expose this interface to programmers,
+thereby allowing a larger set of abstractions (e.g., modeling legacy
+systems as WS-Resources)."  The wrapper accepts any object with the
+resource-store protocol: the default blob-relational store, the XML
+store of §5's Yukon experiment, and (here) a custom provider that
+models a legacy system's records as WS-Resources.
+"""
+
+import pytest
+
+from repro.db import BlobResourceStore, NoSuchResource, XmlResourceStore
+from repro.net import Network
+from repro.osim import Machine
+from repro.sim import Environment
+from repro.wsrf import (
+    GetResourcePropertyPortType,
+    QueryResourcePropertiesPortType,
+    Resource,
+    ResourceProperty,
+    ResourceUnknownFault,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+    WsrfClient,
+    deploy,
+)
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+
+
+@WSRFPortType(GetResourcePropertyPortType, QueryResourcePropertiesPortType)
+class CounterService(ServiceSkeleton):
+    count = Resource(default=0)
+
+    @ResourceProperty
+    @property
+    def Count(self) -> int:
+        return self.count
+
+    @WebMethod(requires_resource=False)
+    def Create(self):
+        return self.epr_for(self.create_resource())
+
+    @WebMethod
+    def Bump(self) -> int:
+        self.count = self.count + 1
+        return self.count
+
+
+def _fabric(store):
+    env = Environment()
+    net = Network(env)
+    machine = Machine(net, "server")
+    wrapper = deploy(CounterService, machine, "Counter", store=store)
+    net.add_host("client")
+    client = WsrfClient(net, "client")
+    return env, wrapper, client
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+@pytest.mark.parametrize("store_cls", [BlobResourceStore, XmlResourceStore])
+class TestInterchangeableBackends:
+    def test_full_lifecycle_identical(self, store_cls):
+        env, wrapper, client = _fabric(store_cls())
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        assert run(env, client.call(epr, UVA, "Bump")) == 1
+        assert run(env, client.call(epr, UVA, "Bump")) == 2
+        assert run(env, client.get_resource_property(epr, QName(UVA, "Count"))) == 2
+
+    def test_unknown_resource_faults(self, store_cls):
+        env, wrapper, client = _fabric(store_cls())
+        with pytest.raises(ResourceUnknownFault):
+            run(env, client.call(wrapper.epr_for("ghost"), UVA, "Bump"))
+
+    def test_query_works_on_both(self, store_cls):
+        env, wrapper, client = _fabric(store_cls())
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        run(env, client.call(epr, UVA, "Bump"))
+        hits = run(env, client.query_resource_properties(epr, "//Count/text()"))
+        assert hits == ["1"]
+
+
+class LegacyInventorySystem:
+    """The 'legacy system' — a plain dict of part records, oblivious to WSRF."""
+
+    def __init__(self):
+        self.parts = {
+            "part-100": {"stock": 12},
+            "part-200": {"stock": 3},
+        }
+
+
+class LegacyStoreAdapter:
+    """Models the legacy system's records as WS-Resource state.
+
+    Implements the store protocol (create/exists/load/save/destroy/
+    list_ids) over the legacy structure; the WSRF wrapper neither knows
+    nor cares that there is no database behind it.
+    """
+
+    def __init__(self, legacy: LegacyInventorySystem):
+        self.legacy = legacy
+        self.loads = self.saves = 0
+
+    def _key(self):
+        return QName(UVA, "count")  # CounterService's single field
+
+    def create(self, service, rid, state):
+        if rid in self.legacy.parts:
+            raise ValueError(f"duplicate {rid}")
+        self.legacy.parts[rid] = {"stock": int(state.get(self._key()) or 0)}
+        self.saves += 1
+
+    def exists(self, service, rid):
+        return rid in self.legacy.parts
+
+    def load(self, service, rid):
+        try:
+            record = self.legacy.parts[rid]
+        except KeyError:
+            raise NoSuchResource(rid) from None
+        self.loads += 1
+        return {self._key(): record["stock"]}
+
+    def save(self, service, rid, state):
+        if rid not in self.legacy.parts:
+            raise NoSuchResource(rid)
+        self.legacy.parts[rid]["stock"] = int(state.get(self._key()) or 0)
+        self.saves += 1
+
+    def destroy(self, service, rid):
+        if rid not in self.legacy.parts:
+            raise NoSuchResource(rid)
+        del self.legacy.parts[rid]
+
+    def list_ids(self, service):
+        return sorted(self.legacy.parts)
+
+
+class TestLegacySystemAsResources:
+    def test_existing_records_are_ws_resources(self):
+        legacy = LegacyInventorySystem()
+        env, wrapper, client = _fabric(LegacyStoreAdapter(legacy))
+        # The pre-existing legacy records answer WSRF calls immediately.
+        epr = wrapper.epr_for("part-100")
+        assert run(env, client.get_resource_property(epr, QName(UVA, "Count"))) == 12
+
+    def test_wsrf_writes_hit_the_legacy_system(self):
+        legacy = LegacyInventorySystem()
+        env, wrapper, client = _fabric(LegacyStoreAdapter(legacy))
+        run(env, client.call(wrapper.epr_for("part-200"), UVA, "Bump"))
+        assert legacy.parts["part-200"]["stock"] == 4  # mutated in place
+
+    def test_destroy_removes_legacy_record(self):
+        legacy = LegacyInventorySystem()
+        env, wrapper, client = _fabric(LegacyStoreAdapter(legacy))
+        wrapper.destroy_resource("part-100")
+        assert "part-100" not in legacy.parts

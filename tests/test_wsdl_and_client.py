@@ -1,0 +1,170 @@
+"""Additional coverage: WSDL helpers, client plumbing edge cases, and
+the one-way MEP at the WSRF layer."""
+
+import pytest
+
+from repro.net import Network
+from repro.osim import Machine
+from repro.sim import Environment
+from repro.soap import SoapFault
+from repro.wsa import EndpointReference
+from repro.wsrf import (
+    GetResourcePropertyPortType,
+    Resource,
+    ResourceProperty,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+    WsrfClient,
+    deploy,
+    generate_wsdl,
+)
+from repro.wsrf.wsdl import wsdl_operations, wsdl_resource_properties
+from repro.xmlx import NS, Element, QName
+
+UVA = NS.UVACG
+
+
+@WSRFPortType(GetResourcePropertyPortType)
+class PingService(ServiceSkeleton):
+    notes = Resource(default=None)
+
+    @ResourceProperty
+    @property
+    def Notes(self):
+        return self.notes
+
+    @WebMethod(requires_resource=False)
+    def Create(self):
+        return self.epr_for(self.create_resource(notes=[]))
+
+    @WebMethod(requires_resource=False)
+    def Ping(self, payload: str = "") -> str:
+        return f"pong:{payload}"
+
+    @WebMethod(one_way=True)
+    def Record(self, note: str):
+        self.notes = list(self.notes or []) + [note]
+
+    @WebMethod
+    def GetNotes(self):
+        return self.notes
+
+
+@pytest.fixture()
+def fabric():
+    env = Environment()
+    net = Network(env)
+    machine = Machine(net, "server")
+    wrapper = deploy(PingService, machine, "Ping")
+    net.add_host("client")
+    client = WsrfClient(net, "client")
+    return env, net, wrapper, client
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+class TestOneWayAtWsrfLayer:
+    def test_one_way_author_method_mutates_state(self, fabric):
+        env, net, wrapper, client = fabric
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        run(env, client.call(epr, UVA, "Record", {"note": "n1"}, one_way=True))
+        env.run(until=env.now + 1.0)  # let the detached handler finish
+        assert run(env, client.call(epr, UVA, "GetNotes")) == ["n1"]
+
+    def test_one_way_returns_immediately(self, fabric):
+        env, net, wrapper, client = fabric
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        t0 = env.now
+        run(env, client.call(epr, UVA, "Record", {"note": "x"}, one_way=True))
+        send_time = env.now - t0
+        t1 = env.now
+        run(env, client.call(epr, UVA, "GetNotes"))
+        rpc_time = env.now - t1
+        assert send_time < rpc_time  # no response leg, no handler wait
+
+    def test_one_way_fault_is_silent(self, fabric):
+        env, net, wrapper, client = fabric
+        # Record on a nonexistent resource: the handler faults, but the
+        # one-way sender cannot observe it.
+        ghost = wrapper.epr_for("ghost")
+        run(env, client.call(ghost, UVA, "Record", {"note": "x"}, one_way=True))
+        env.run(until=env.now + 1.0)
+        assert wrapper.faults_returned >= 1  # fault happened service-side
+
+
+class TestClientEdgeCases:
+    def test_default_action_from_body(self, fabric):
+        env, net, wrapper, client = fabric
+        body = Element(QName(UVA, "Ping"))
+        response = run(env, client.invoke(wrapper.service_epr(), body))
+        assert response.tag.local == "PingResponse"
+
+    def test_explicit_action_override(self, fabric):
+        env, net, wrapper, client = fabric
+        body = Element(QName(UVA, "Ping"))
+        response = run(
+            env,
+            client.invoke(wrapper.service_epr(), body, action="urn:custom-action"),
+        )
+        assert response.tag.local == "PingResponse"
+
+    def test_void_result_is_none(self, fabric):
+        env, net, wrapper, client = fabric
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        assert run(env, client.call(epr, UVA, "Record", {"note": "n"})) is None
+
+    def test_default_argument_used(self, fabric):
+        env, net, wrapper, client = fabric
+        assert run(env, client.call(wrapper.service_epr(), UVA, "Ping")) == "pong:"
+
+    def test_unknown_host_surfaces(self, fabric):
+        env, net, wrapper, client = fabric
+        from repro.net import DeliveryError
+
+        with pytest.raises(DeliveryError):
+            run(
+                env,
+                client.call(EndpointReference("http://nowhere/Svc"), UVA, "Ping"),
+            )
+
+
+class TestWsdlHelpers:
+    def test_one_way_operations_have_no_output(self, fabric):
+        env, net, wrapper, client = fabric
+        doc = generate_wsdl(wrapper)
+        for pt in doc.findall(QName(NS.WSDL, "portType")):
+            if pt.get("name") != "PingServicePortType":
+                continue
+            for op in pt.findall(QName(NS.WSDL, "operation")):
+                outputs = op.findall(QName(NS.WSDL, "input"))
+                has_output = op.find(QName(NS.WSDL, "output")) is not None
+                if op.get("name") == "Record":
+                    assert not has_output  # one-way: input only
+                else:
+                    assert has_output
+
+    def test_helpers_cover_all_ops_and_rps(self, fabric):
+        env, net, wrapper, client = fabric
+        doc = generate_wsdl(wrapper)
+        ops = wsdl_operations(doc)
+        assert set(ops["PingServicePortType"]) == {
+            "Create", "Ping", "Record", "GetNotes",
+        }
+        rps = wsdl_resource_properties(doc)
+        assert QName(UVA, "Notes") in rps
+
+    def test_wsdl_discovery_drives_generic_client(self, fabric):
+        """A client that knows only the WSDL can pick an RP and fetch it
+        — §5's 'higher-level interfaces' working end-to-end."""
+        env, net, wrapper, client = fabric
+        doc = generate_wsdl(wrapper)
+        advertised = wsdl_resource_properties(doc)
+        app_rps = [q for q in advertised if q.uri == UVA]
+        epr = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        value = run(env, client.get_resource_property(epr, app_rps[0]))
+        assert value == []

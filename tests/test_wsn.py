@@ -1,0 +1,416 @@
+"""Tests for WS-Notification: topics, subscribe/notify, broker fan-out."""
+
+import pytest
+
+from repro.net import Network
+from repro.osim import Machine
+from repro.sim import Environment
+from repro.wsn import (
+    CONCRETE_DIALECT,
+    FULL_DIALECT,
+    SIMPLE_DIALECT,
+    NotificationConsumerPortType,
+    NotificationListener,
+    NotificationProducerPortType,
+    SubscriptionManagerPortType,
+    TopicExpression,
+    TopicExpressionError,
+    attach_notification_producer,
+    build_notify_body,
+    parse_notify_body,
+)
+from repro.wsn.broker import NotificationBrokerService, deploy_broker
+from repro.wsrf import (
+    GetResourcePropertyPortType,
+    ImmediateResourceTerminationPortType,
+    Resource,
+    ServiceSkeleton,
+    WebMethod,
+    WSRFPortType,
+    WsrfClient,
+    deploy,
+)
+from repro.xmlx import NS, Element, QName
+
+UVA = NS.UVACG
+
+
+class TestTopicExpressions:
+    def test_simple_matches_subtree(self):
+        expr = TopicExpression("jobset-1", SIMPLE_DIALECT)
+        assert expr.matches("jobset-1")
+        assert expr.matches("jobset-1/job2/status")
+        assert not expr.matches("jobset-2/job1")
+
+    def test_concrete_exact(self):
+        expr = TopicExpression("jobset-1/job2", CONCRETE_DIALECT)
+        assert expr.matches("jobset-1/job2")
+        assert not expr.matches("jobset-1/job2/status")
+        assert not expr.matches("jobset-1")
+
+    def test_full_single_wildcard(self):
+        expr = TopicExpression("jobset-1/*/status", FULL_DIALECT)
+        assert expr.matches("jobset-1/job9/status")
+        assert not expr.matches("jobset-1/status")
+        assert not expr.matches("jobset-1/a/b/status")
+
+    def test_full_double_wildcard(self):
+        expr = TopicExpression("jobset-1/**", FULL_DIALECT)
+        assert expr.matches("jobset-1")
+        assert expr.matches("jobset-1/a/b/c")
+        assert not expr.matches("other")
+        mid = TopicExpression("a/**/z", FULL_DIALECT)
+        assert mid.matches("a/z")
+        assert mid.matches("a/b/c/z")
+        assert not mid.matches("a/b/c")
+
+    def test_simple_rejects_paths(self):
+        with pytest.raises(TopicExpressionError):
+            TopicExpression("a/b", SIMPLE_DIALECT)
+
+    def test_wildcards_require_full(self):
+        with pytest.raises(TopicExpressionError):
+            TopicExpression("a/*", CONCRETE_DIALECT)
+
+    def test_unknown_dialect(self):
+        with pytest.raises(TopicExpressionError):
+            TopicExpression("a", "urn:bogus")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopicExpressionError):
+            TopicExpression("   ")
+
+    def test_equality_hash(self):
+        a = TopicExpression("x/y")
+        b = TopicExpression("x/y")
+        assert a == b and hash(a) == hash(b)
+        assert a != TopicExpression("x/z")
+        assert a != TopicExpression("x", SIMPLE_DIALECT)
+
+    def test_notify_body_roundtrip(self):
+        from repro.wsa import EndpointReference
+
+        payload = Element(QName(UVA, "JobExited"), text="0")
+        producer = EndpointReference("http://n/ES")
+        body = build_notify_body("js/job1/exit", payload, producer)
+        from repro.xmlx import parse, to_string
+
+        parsed = parse_notify_body(parse(to_string(body)))
+        assert len(parsed) == 1
+        topic, message, prod = parsed[0]
+        assert topic == "js/job1/exit"
+        assert message.tag == QName(UVA, "JobExited")
+        assert prod == producer
+
+
+@WSRFPortType(
+    NotificationProducerPortType,
+    SubscriptionManagerPortType,
+    ImmediateResourceTerminationPortType,
+    GetResourcePropertyPortType,
+)
+class ChattyService(ServiceSkeleton):
+    """A producer service that publishes on demand."""
+
+    @WebMethod(requires_resource=False)
+    def Emit(self, topic: str, text: str) -> int:
+        payload = Element(QName(UVA, "Event"), text=text)
+        self.notify(topic, payload)
+        return 0
+
+
+@WSRFPortType(NotificationConsumerPortType)
+class SinkService(ServiceSkeleton):
+    """A service-side notification consumer."""
+
+    log = []
+
+    def on_notification(self, topic, payload, producer):
+        SinkService.log.append((self.env.now, topic, payload.full_text()))
+
+
+@pytest.fixture()
+def fabric():
+    env = Environment()
+    net = Network(env)
+    producer_machine = Machine(net, "producer-node")
+    wrapper = deploy(ChattyService, producer_machine, "Chatty")
+    attach_notification_producer(wrapper)
+    net.add_host("client")
+    client = WsrfClient(net, "client")
+    SinkService.log = []
+    return env, net, producer_machine, wrapper, client
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+class TestSubscribeNotify:
+    def test_client_listener_receives_matching_topic(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        listener = NotificationListener(net, "client")
+        seen = []
+        listener.on_topic("js-1/**", lambda note: seen.append(note.topic))
+        run(
+            env,
+            client.subscribe(wrapper.service_epr(), listener.epr, "js-1/status"),
+        )
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit",
+                             {"topic": "js-1/status", "text": "go"}))
+        env.run()  # drain async notify
+        assert [n.topic for n in listener.received] == ["js-1/status"]
+        assert seen == ["js-1/status"]
+        assert listener.received[0].payload.full_text() == "go"
+        assert listener.received[0].producer == wrapper.service_epr()
+
+    def test_non_matching_topic_not_delivered(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        listener = NotificationListener(net, "client")
+        run(env, client.subscribe(wrapper.service_epr(), listener.epr, "js-1/status"))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit",
+                             {"topic": "js-2/status", "text": "x"}))
+        env.run()
+        assert listener.received == []
+
+    def test_wildcard_subscription(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        listener = NotificationListener(net, "client")
+        run(
+            env,
+            client.subscribe(
+                wrapper.service_epr(), listener.epr, "js-1/**", dialect=FULL_DIALECT
+            ),
+        )
+        for topic in ("js-1/a", "js-1/b/c", "js-2/a"):
+            run(env, client.call(wrapper.service_epr(), UVA, "Emit",
+                                 {"topic": topic, "text": "t"}))
+        env.run()
+        assert listener.topics_seen() == ["js-1/a", "js-1/b/c"]
+
+    def test_pause_and_resume(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        listener = NotificationListener(net, "client")
+        sub_epr = run(
+            env, client.subscribe(wrapper.service_epr(), listener.epr, "t/x")
+        )
+        from repro.wsn.base_notification import PAUSE_SUBSCRIPTION, RESUME_SUBSCRIPTION
+
+        run(env, client.invoke(sub_epr, Element(PAUSE_SUBSCRIPTION)))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit", {"topic": "t/x", "text": "1"}))
+        env.run()
+        assert listener.received == []
+        run(env, client.invoke(sub_epr, Element(RESUME_SUBSCRIPTION)))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit", {"topic": "t/x", "text": "2"}))
+        env.run()
+        assert [n.payload.full_text() for n in listener.received] == ["2"]
+
+    def test_destroy_subscription_stops_delivery(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        listener = NotificationListener(net, "client")
+        sub_epr = run(env, client.subscribe(wrapper.service_epr(), listener.epr, "t/x"))
+        run(env, client.destroy(sub_epr))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit", {"topic": "t/x", "text": "1"}))
+        env.run()
+        assert listener.received == []
+        producer = wrapper.notification_producer
+        assert producer.subscriptions == {}
+
+    def test_multiple_subscribers_fanout(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        listeners = []
+        for i in range(5):
+            net.add_host(f"watcher{i}")
+            listener = NotificationListener(net, f"watcher{i}")
+            listeners.append(listener)
+            run(env, client.subscribe(wrapper.service_epr(), listener.epr, "t/x"))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit", {"topic": "t/x", "text": "all"}))
+        env.run()
+        assert all(len(l.received) == 1 for l in listeners)
+        assert wrapper.notification_producer.notifications_sent == 5
+
+    def test_publish_without_producer_raises(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        machine2 = Machine(net, "other-node")
+        bare = deploy(ChattyService, machine2, "Bare")
+        with pytest.raises(SoapFaultLike := Exception, match="NotificationProducer"):
+            run(env, client.call(bare.service_epr(), UVA, "Emit", {"topic": "t", "text": "x"}))
+
+    def test_service_side_consumer(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        sink_machine = Machine(net, "sink-node")
+        sink = deploy(SinkService, sink_machine, "Sink")
+        run(env, client.subscribe(wrapper.service_epr(), sink.service_epr(), "t/x"))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit", {"topic": "t/x", "text": "svc"}))
+        env.run()
+        assert len(SinkService.log) == 1
+        assert SinkService.log[0][1] == "t/x"
+        assert SinkService.log[0][2] == "svc"
+
+
+class TestBroker:
+    def test_broker_multicast(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        broker_machine = Machine(net, "broker-node")
+        broker = deploy_broker(broker_machine)
+        # Two listeners subscribe at the broker.
+        listeners = []
+        for i in range(3):
+            net.add_host(f"sub{i}")
+            listener = NotificationListener(net, f"sub{i}")
+            listeners.append(listener)
+            run(env, client.subscribe(broker.service_epr(), listener.epr, "js-7/**",
+                                      dialect=FULL_DIALECT))
+        # A producer (here: the client itself) sends one Notify to the broker.
+        payload = Element(QName(UVA, "JobStarted"), text="job1")
+        body = build_notify_body("js-7/job1/started", payload)
+        run(env, client.invoke(broker.service_epr(), body, category="notify"))
+        env.run()
+        for listener in listeners:
+            assert listener.topics_seen() == ["js-7/job1/started"]
+
+    def test_register_publisher(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        broker_machine = Machine(net, "broker-node")
+        broker = deploy_broker(broker_machine)
+        from repro.wsn.broker import REGISTER_PUBLISHER
+
+        body = Element(REGISTER_PUBLISHER)
+        body.append(wrapper.service_epr().to_xml(QName(NS.WSBN, "PublisherReference")))
+        run(env, client.invoke(broker.service_epr(), body))
+        assert broker.registered_publishers == [wrapper.service_epr()]
+        # Idempotent.
+        run(env, client.invoke(broker.service_epr(), body))
+        assert len(broker.registered_publishers) == 1
+
+    def test_broker_ping(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        broker_machine = Machine(net, "broker-node")
+        broker = deploy_broker(broker_machine)
+        assert run(env, client.call(broker.service_epr(), NS.WSBN, "Ping")) == "broker-alive"
+
+    def test_broker_decouples_producer_from_consumers(self, fabric):
+        """Producer sends ONE message regardless of subscriber count."""
+        env, net, pm, wrapper, client = fabric
+        broker_machine = Machine(net, "broker-node")
+        broker = deploy_broker(broker_machine)
+        for i in range(10):
+            net.add_host(f"c{i}")
+            listener = NotificationListener(net, f"c{i}")
+            run(env, client.subscribe(broker.service_epr(), listener.epr, "t/**",
+                                      dialect=FULL_DIALECT))
+        net.stats.reset()
+        payload = Element(QName(UVA, "E"), text="1")
+        run(env, client.invoke(broker.service_epr(), build_notify_body("t/e", payload),
+                               category="producer-notify"))
+        env.run()
+        assert net.stats.by_category["producer-notify"] == 2  # request+response only
+        assert net.stats.by_category["notify"] == 10  # broker fan-out
+
+
+class TestTopicAdvertisement:
+    """The wstop:Topic RP — the producer's published topic space."""
+
+    def test_topics_advertised_after_publish(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        from repro.wsn.base_notification import TOPIC_RP
+
+        # A subscription resource gives us an EPR to query RPs against.
+        listener = NotificationListener(net, "client")
+        sub_epr = run(env, client.subscribe(wrapper.service_epr(), listener.epr, "t/x"))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit",
+                             {"topic": "t/x", "text": "1"}))
+        run(env, client.call(wrapper.service_epr(), UVA, "Emit",
+                             {"topic": "t/y", "text": "2"}))
+        env.run()
+        topics = run(env, client.get_resource_property(sub_epr, TOPIC_RP))
+        assert topics == ["t/x", "t/y"]
+
+    def test_no_publishes_empty_advertisement(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        from repro.wsn.base_notification import TOPIC_RP
+
+        listener = NotificationListener(net, "client")
+        sub_epr = run(env, client.subscribe(wrapper.service_epr(), listener.epr, "t/x"))
+        assert run(env, client.get_resource_property(sub_epr, TOPIC_RP)) == []
+
+
+class TestDemandPublishing:
+    """WS-BrokeredNotification demand-based publishing."""
+
+    def _demand_setup(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        broker_machine = Machine(net, "broker-node")
+        broker = deploy_broker(broker_machine)
+
+        # A publisher service that honors Pause/ResumePublishing.
+        from repro.wsn.broker import DemandPublisherPortType
+
+        @WSRFPortType(DemandPublisherPortType)
+        class Sensor(ServiceSkeleton):
+            @WebMethod(requires_resource=False)
+            def IsPublishing(self, root: str) -> bool:
+                paused = getattr(self.wsrf.wrapper, "publishing_paused", set())
+                return root not in paused
+
+        sensor_machine = Machine(net, "sensor-node")
+        sensor = deploy(Sensor, sensor_machine, "Sensor")
+
+        # Register the sensor as a demand publisher for topic root "env".
+        from repro.wsn.broker import REGISTER_PUBLISHER
+
+        body = Element(REGISTER_PUBLISHER)
+        body.append(sensor.service_epr().to_xml(QName(NS.WSBN, "PublisherReference")))
+        body.subelement(QName(NS.WSBN, "Demand"), text="true")
+        body.subelement(QName(NS.WSBN, "Topic"), text="env")
+        run(env, client.invoke(broker.service_epr(), body))
+        env.run(until=env.now + 1.0)
+        return env, net, broker, sensor, client
+
+    def _is_publishing(self, env, client, sensor):
+        return run(env, client.call(sensor.service_epr(), UVA, "IsPublishing",
+                                    {"root": "env"}))
+
+    def test_paused_until_first_subscriber(self, fabric):
+        env, net, broker, sensor, client = self._demand_setup(fabric)
+        # No subscriber interest yet: the broker told the sensor to pause.
+        assert self._is_publishing(env, client, sensor) is False
+        # A matching subscription appears -> resume.
+        listener = NotificationListener(net, "client")
+        run(env, client.subscribe(broker.service_epr(), listener.epr, "env/**",
+                                  dialect=FULL_DIALECT))
+        env.run(until=env.now + 1.0)
+        assert self._is_publishing(env, client, sensor) is True
+
+    def test_pause_returns_when_interest_vanishes(self, fabric):
+        env, net, broker, sensor, client = self._demand_setup(fabric)
+        listener = NotificationListener(net, "client")
+        sub_epr = run(env, client.subscribe(broker.service_epr(), listener.epr,
+                                            "env/**", dialect=FULL_DIALECT))
+        env.run(until=env.now + 1.0)
+        assert self._is_publishing(env, client, sensor) is True
+        run(env, client.destroy(sub_epr))
+        env.run(until=env.now + 1.0)
+        assert self._is_publishing(env, client, sensor) is False
+
+    def test_unrelated_subscription_does_not_resume(self, fabric):
+        env, net, broker, sensor, client = self._demand_setup(fabric)
+        listener = NotificationListener(net, "client")
+        run(env, client.subscribe(broker.service_epr(), listener.epr,
+                                  "othertopic/**", dialect=FULL_DIALECT))
+        env.run(until=env.now + 1.0)
+        assert self._is_publishing(env, client, sensor) is False
+
+    def test_pausing_last_subscription_pauses_publisher(self, fabric):
+        env, net, broker, sensor, client = self._demand_setup(fabric)
+        from repro.wsn.base_notification import PAUSE_SUBSCRIPTION
+
+        listener = NotificationListener(net, "client")
+        sub_epr = run(env, client.subscribe(broker.service_epr(), listener.epr,
+                                            "env/**", dialect=FULL_DIALECT))
+        env.run(until=env.now + 1.0)
+        run(env, client.invoke(sub_epr, Element(PAUSE_SUBSCRIPTION)))
+        env.run(until=env.now + 1.0)
+        assert self._is_publishing(env, client, sensor) is False

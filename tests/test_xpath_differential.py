@@ -1,0 +1,111 @@
+"""Differential testing: XPath-lite vs a brute-force reference.
+
+QueryResourceProperties rides on :func:`repro.xmlx.xpath_select`; these
+tests pit it against an independent, obviously-correct reference
+implementation on randomized documents, plus fuzz the typed-value
+decoder with arbitrary parsed XML (it must fail *predictably*).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soap import SoapFault, from_typed_element
+from repro.xmlx import Element, QName, parse, to_string, xpath_select
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def _docs(draw, depth=0):
+    el = Element(QName("http://t", draw(_names)))
+    if depth < 3:
+        for child in draw(st.lists(_docs(depth=depth + 1), max_size=3)):
+            el.append(child)
+    if not el.children:
+        el.text = draw(st.sampled_from(["", "x", "y"]))
+    return el
+
+
+def _ref_descendants(root, local):
+    """Reference for ``//local``: document-order descendant-or-self scan."""
+    return [el for el in root.iter() if el.tag.local == local]
+
+
+def _ref_children(root, local):
+    """Reference for relative ``local``: direct children."""
+    return [child for child in root.children if child.tag.local == local]
+
+
+def _ref_path(root, first, second):
+    """Reference for ``first/second``."""
+    out = []
+    for a in _ref_children(root, first):
+        out.extend(_ref_children(a, second))
+    return out
+
+
+class TestDifferentialXPath:
+    @given(_docs(), _names)
+    def test_descendant_axis_matches_reference(self, doc, name):
+        ours = xpath_select(doc, f"//{name}")
+        theirs = _ref_descendants(doc, name)
+        assert len(ours) == len(theirs)
+        for mine, ref in zip(ours, theirs):
+            assert mine.equals(ref)
+
+    @given(_docs(), _names)
+    def test_child_axis_matches_reference(self, doc, name):
+        ours = xpath_select(doc, name)
+        theirs = _ref_children(doc, name)
+        assert len(ours) == len(theirs)
+        for mine, ref in zip(ours, theirs):
+            assert mine.equals(ref)
+
+    @given(_docs(), _names, _names)
+    def test_two_step_path_matches_reference(self, doc, first, second):
+        ours = xpath_select(doc, f"{first}/{second}")
+        theirs = _ref_path(doc, first, second)
+        assert len(ours) == len(theirs)
+        for mine, ref in zip(ours, theirs):
+            assert mine.equals(ref)
+
+    @given(_docs(), _names)
+    def test_positional_predicate_consistent(self, doc, name):
+        all_hits = xpath_select(doc, name)
+        for index in range(1, len(all_hits) + 1):
+            picked = xpath_select(doc, f"{name}[{index}]")
+            assert len(picked) == (1 if index <= len(all_hits) else 0)
+            if picked:
+                assert picked[0].equals(all_hits[index - 1])
+
+    @given(_docs())
+    def test_select_survives_serialization(self, doc):
+        """Query results are identical on a wire-tripped document."""
+        again = parse(to_string(doc))
+        for name in ("a", "b", "c", "d"):
+            ours = xpath_select(doc, f"//{name}")
+            theirs = xpath_select(again, f"//{name}")
+            assert len(ours) == len(theirs)
+
+
+class TestTypedDecoderFuzz:
+    @given(_docs())
+    def test_decoder_fails_predictably(self, doc):
+        """from_typed_element on arbitrary XML either returns a value or
+        raises SoapFault/ValueError — never an unexpected exception."""
+        try:
+            from_typed_element(doc)
+        except (SoapFault, ValueError):
+            pass
+
+    @given(st.text(alphabet="abc<>&;/=\"' x1", max_size=60))
+    def test_parser_fails_predictably(self, text):
+        """parse() on arbitrary text raises XmlParseError or succeeds."""
+        from repro.xmlx import XmlParseError
+
+        try:
+            parse(text)
+        except XmlParseError:
+            pass
+        except ValueError:
+            pass  # numeric charref overflow etc.
