@@ -28,7 +28,7 @@ from repro.gridapp.tracing import EventTrace, TraceEvent
 from repro.gridapp.filesystem_service import FileSystemService
 from repro.gridapp.execution_service import ExecutionService
 from repro.gridapp.node_info import NodeInfoService, processor_content
-from repro.gridapp.scheduler import SchedulerService
+from repro.gridapp.scheduler import FaultToleranceConfig, SchedulerService
 from repro.gridapp.utilization import ProcessorUtilizationService
 from repro.gridapp.client import GridClient
 from repro.gridapp.report import JobSetReport, build_report, render_gantt, render_summary
@@ -37,6 +37,7 @@ from repro.gridapp.testbed import Testbed
 __all__ = [
     "EventTrace",
     "ExecutionService",
+    "FaultToleranceConfig",
     "FileRef",
     "FileSystemService",
     "GridClient",

@@ -122,6 +122,7 @@ class GridClient:
         scheduler_cert: Certificate,
         user_keys=None,
         user_cert=None,
+        retry_policy=None,
     ) -> None:
         self.network = network
         self.env = network.env
@@ -139,7 +140,7 @@ class GridClient:
         self.fs.mkdir("c:/data")
         self.file_server = ClientFileServer(network, host_name, self.fs)
         self.listener = NotificationListener(network, host_name, port=LISTENER_PORT)
-        self.soap = WsrfClient(network, host_name)
+        self.soap = WsrfClient(network, host_name, retry_policy=retry_policy)
         #: completion events by topic, fed by the listener
         self._completions: Dict[str, object] = {}
         self.listener.on_topic("**", self._on_note)
@@ -217,6 +218,39 @@ class GridClient:
         """Coroutine: submit and wait; returns (outcome, jobset_epr, topic)."""
         jobset_epr, topic = yield from self.submit(spec)
         outcome = yield from self.wait_for_completion(topic)
+        return outcome, jobset_epr, topic
+
+    def poll_until_complete(self, jobset_epr, period: float = 2.0,
+                            give_up_after: Optional[float] = None):
+        """Coroutine: poll the job set's Status RP until it is terminal.
+
+        The listener path rides one-way notifications, which a lossy
+        network may drop outright; polling the Scheduler is
+        request/response, so a retry policy on this client makes it
+        converge whenever the Scheduler is reachable at all.  Returns
+        the outcome lowercased ("completed"/"failed"), or "timeout" if
+        ``give_up_after`` simulated seconds pass first.
+        """
+        deadline = (
+            None if give_up_after is None else self.env.now + give_up_after
+        )
+        while True:
+            status = yield from self.soap.get_resource_property(
+                jobset_epr, QName(UVA, "Status"), category="poll"
+            )
+            if status in ("Completed", "Failed"):
+                return status.lower()
+            if deadline is not None and self.env.now >= deadline:
+                return "timeout"
+            yield self.env.timeout(period)
+
+    def run_job_set_polled(self, spec: JobSetSpec, period: float = 2.0,
+                           give_up_after: Optional[float] = None):
+        """Coroutine: like run_job_set but monitored by polling (FT path)."""
+        jobset_epr, topic = yield from self.submit(spec)
+        outcome = yield from self.poll_until_complete(
+            jobset_epr, period=period, give_up_after=give_up_after
+        )
         return outcome, jobset_epr, topic
 
     def progress_messages(self, topic: str) -> List[str]:

@@ -15,6 +15,14 @@ from typing import Dict, List, Optional
 from repro.gridapp.execution_service import parse_job_event
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One Scheduler re-dispatch, from a JobRecovery notification."""
+
+    at: float
+    from_machine: str
+
+
 @dataclass
 class JobTimeline:
     name: str
@@ -23,6 +31,7 @@ class JobTimeline:
     exited_at: Optional[float] = None
     exit_code: Optional[int] = None
     machine_hint: str = ""
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
 
     @property
     def staging_s(self) -> Optional[float]:
@@ -57,6 +66,10 @@ class JobSetReport:
             return None
         return self.finished_at - self.submitted_at
 
+    @property
+    def total_recoveries(self) -> int:
+        return sum(len(job.recoveries) for job in self.jobs.values())
+
 
 def build_report(received, topic: str) -> JobSetReport:
     """Digest a listener's notifications for one job set."""
@@ -70,6 +83,19 @@ def build_report(received, topic: str) -> JobSetReport:
         if len(parts) == 2 and parts[1] in ("completed", "failed", "cancelled"):
             report.finished_at = note.at
             report.outcome = parts[1]
+            continue
+        if len(parts) == 2 and parts[1] == "recovery":
+            # FT layer: <JobRecovery job=... from=...> with a WS-BaseFault
+            # detail (see docs/fault_tolerance.md).
+            name = note.payload.get("job") or ""
+            if name:
+                job = report.jobs.setdefault(name, JobTimeline(name))
+                job.recoveries.append(
+                    RecoveryEvent(
+                        at=note.at,
+                        from_machine=note.payload.get("from") or "?",
+                    )
+                )
             continue
         event = parse_job_event(note.payload)
         name = event.get("job_name")
@@ -124,6 +150,8 @@ def render_gantt(report: JobSetReport, width: int = 60) -> str:
             bar[i] = "#"
         if c2 < width and job.exited_at is not None:
             bar[c2] = "#" if job.exit_code == 0 else "X"
+        for recovery in job.recoveries:
+            bar[column(recovery.at)] = "R"
         lines.append(
             f"  {job.name:<{name_w}}  {job.machine_hint:<{host_w}}  |{''.join(bar)}|"
             f" {job.outcome}"
@@ -144,10 +172,15 @@ def render_summary(report: JobSetReport) -> str:
         job = report.jobs[name]
         staging = f"{job.staging_s:.2f}s" if job.staging_s is not None else "-"
         running = f"{job.running_s:.2f}s" if job.running_s is not None else "-"
+        recovered = (
+            f"  recovered x{len(job.recoveries)}" if job.recoveries else ""
+        )
         lines.append(
             f"  {name:<12} on {job.machine_hint or '?':<10} "
-            f"staging {staging:>8}  run {running:>8}  {job.outcome}"
+            f"staging {staging:>8}  run {running:>8}  {job.outcome}{recovered}"
         )
+    if report.total_recoveries:
+        lines.append(f"  recoveries: {report.total_recoveries}")
     if report.makespan_s is not None:
         lines.append(f"  makespan: {report.makespan_s:.2f}s")
     return "\n".join(lines)

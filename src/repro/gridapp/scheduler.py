@@ -17,6 +17,7 @@ with no uncompleted dependencies.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.gridapp import tracing
@@ -39,7 +40,7 @@ from repro.wsrf.attributes import (
     WSRFPortType,
 )
 from repro.soap import SoapFault
-from repro.wsrf.basefaults import BaseFault
+from repro.wsrf.basefaults import BaseFault, EndpointUnreachableFault
 from repro.wsrf.lifetime import ImmediateResourceTerminationPortType
 from repro.wsrf.porttypes import (
     GetMultipleResourcePropertiesPortType,
@@ -55,6 +56,40 @@ SG = NS.WSRF_SG
 
 class SchedulingFault(BaseFault):
     FAULT_QNAME = QName(UVA, "SchedulingFault")
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Opt-in re-dispatch behaviour for the Scheduler.
+
+    Attach an instance as ``wrapper.fault_tolerance`` (or pass
+    ``fault_tolerance=`` to the Testbed) to make the Scheduler survive
+    Execution Services that become unreachable mid-run: dispatches fail
+    over to alternate NIS-cataloged machines, and a per-job-set watchdog
+    probes dispatched jobs, re-dispatching any whose ES stops answering
+    and synthesizing completions whose JobExited notification was lost.
+    Without it the Scheduler keeps the paper's original fail-fast
+    behaviour (one transport fault marks the set Failed).
+    """
+
+    #: machines tried per scheduling pass before the dispatch fails
+    max_dispatch_attempts: int = 3
+    #: watchdog-driven recoveries allowed per job before giving up
+    max_redispatches: int = 3
+    #: seconds between watchdog sweeps over a running job set
+    watchdog_period: float = 5.0
+    #: re-dispatch a job stuck in Created/StagingFiles this long
+    stuck_after: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_dispatch_attempts < 1:
+            raise ValueError("max_dispatch_attempts must be >= 1")
+        if self.max_redispatches < 0:
+            raise ValueError("max_redispatches must be >= 0")
+        if self.watchdog_period <= 0:
+            raise ValueError("watchdog_period must be positive")
+        if self.stuck_after <= 0:
+            raise ValueError("stuck_after must be positive")
 
 
 def choose_machine(processors: List[Dict], policy: str, rng=None, rr_state=None) -> Dict:
@@ -113,6 +148,10 @@ class SchedulerService(ServiceSkeleton):
     job_eprs = Resource(default=None)  # {job: job EPR}
     job_exit_codes = Resource(default=None)  # {job: int}
     delegated_cred = Resource(default=None)  # the client's signed X.509 header
+    # -- fault-tolerance bookkeeping (unused unless FT is configured) --
+    job_attempts = Resource(default=None)  # {job: dispatch count}
+    job_excluded = Resource(default=None)  # {job: [machines not to reuse]}
+    job_dispatched_at = Resource(default=None)  # {job: sim time of dispatch}
 
     # -- resource properties -----------------------------------------------------------
 
@@ -183,8 +222,15 @@ class SchedulerService(ServiceSkeleton):
             job_eprs={},
             job_exit_codes={},
             delegated_cred=delegated,
+            job_attempts={},
+            job_excluded={},
+            job_dispatched_at={},
         )
         jobset_epr = self.epr_for(rid)
+
+        ft = getattr(wrapper, "fault_tolerance", None)
+        if ft is not None:
+            _start_watchdog(wrapper, rid, jobset_epr, ft)
 
         # "The SS then invokes the Subscribe() method on the Notification
         # Broker to subscribe both itself and the client's notification
@@ -244,6 +290,8 @@ class SchedulerService(ServiceSkeleton):
         if kind == "JobCreated":
             eprs = dict(self.job_eprs or {})
             dirs = dict(self.job_dirs or {})
+            if self._is_stale(job_name, event):
+                return
             if "job_epr" in event:
                 eprs[job_name] = event["job_epr"]
             if "dir_epr" in event:
@@ -255,9 +303,26 @@ class SchedulerService(ServiceSkeleton):
             return
         if kind != "JobExited":
             return
+        if self._is_stale(job_name, event):
+            return
+        if (self.job_phase or {}).get(job_name) in ("done", "failed"):
+            # Duplicate terminal event (the watchdog may have synthesized
+            # this completion already from a Status probe).
+            return
+        yield from self._job_exited(job_name, event.get("exit_code", -1))
+
+    def _is_stale(self, job_name: str, event: Dict) -> bool:
+        """True if *event* came from a superseded dispatch of *job_name*."""
+        current = (self.job_eprs or {}).get(job_name)
+        return (
+            "job_epr" in event
+            and current is not None
+            and event["job_epr"] != current
+        )
+
+    def _job_exited(self, job_name: str, code: int):
         phases = dict(self.job_phase or {})
         codes = dict(self.job_exit_codes or {})
-        code = event.get("exit_code", -1)
         codes[job_name] = code
         if code == 0:
             phases[job_name] = "done"
@@ -292,7 +357,7 @@ class SchedulerService(ServiceSkeleton):
             ):
                 continue
             try:
-                yield from self._dispatch(job, name_map)
+                yield from self._dispatch_with_failover(job, name_map)
             except (SoapFault, DeliveryError, LookupError) as fault:
                 # A dispatch failure must not unwind the whole pass (the
                 # already-recorded placements would be lost): mark the job
@@ -306,7 +371,46 @@ class SchedulerService(ServiceSkeleton):
                 return
             phases = dict(self.job_phase or {})  # _dispatch updates it
 
-    def _dispatch(self, job, name_map):
+    def _ft(self) -> Optional[FaultToleranceConfig]:
+        return getattr(self.wsrf.wrapper, "fault_tolerance", None)
+
+    def _dispatch_with_failover(self, job, name_map):
+        """Dispatch *job*, failing over to other machines under FT.
+
+        Transport failures (the target never answered Run, even after
+        client-level retries) exclude the machine and try the next best
+        one, up to ``max_dispatch_attempts``.  SchedulingFaults — no
+        machines, missing credentials — are configuration problems and
+        stay terminal.
+        """
+        ft = self._ft()
+        if ft is None:
+            yield from self._dispatch(job, name_map)
+            return
+        excluded = set((self.job_excluded or {}).get(job.name, ()))
+        for attempt in range(1, ft.max_dispatch_attempts + 1):
+            self._last_target = None
+            try:
+                yield from self._dispatch(job, name_map, exclude=excluded)
+                return
+            except DeliveryError as fault:
+                if attempt >= ft.max_dispatch_attempts:
+                    raise
+                dead = self._last_target
+                if dead is not None:
+                    excluded.add(dead)
+                    by_job = {
+                        k: list(v) for k, v in (self.job_excluded or {}).items()
+                    }
+                    by_job[job.name] = sorted(excluded)
+                    self.job_excluded = by_job
+                tracing.record(
+                    self.machine, 11, "Scheduler",
+                    f"dispatch of {job.name} to {dead or '?'} failed; failing over",
+                )
+                self._announce_recovery(job.name, dead or "?", str(fault))
+
+    def _dispatch(self, job, name_map, exclude=()):
         wrapper = self.wsrf.wrapper
         machine = self.machine
         # Step 2: poll the NIS.
@@ -329,6 +433,15 @@ class SchedulerService(ServiceSkeleton):
         for name, where in (self.job_machine or {}).items():
             if phases.get(name) == "dispatched":
                 in_flight[where] = in_flight.get(where, 0) + 1
+        if exclude:
+            processors = [p for p in processors if p["name"] not in exclude]
+            if not processors:
+                raise SchedulingFault(
+                    description=(
+                        f"no processors left for {job.name!r} after excluding "
+                        f"{sorted(exclude)}"
+                    )
+                )
         processors = [
             dict(p, queued=in_flight.get(p["name"], 0)) for p in processors
         ]
@@ -364,6 +477,7 @@ class SchedulerService(ServiceSkeleton):
             )
         es_epr = EndpointReference(f"http://{target}:80/ExecService")
         tracing.record(machine, 3, "Scheduler", f"{job.name} -> {target}")
+        self._last_target = target
         result = yield from self.client.call(
             es_epr,
             UVA,
@@ -390,6 +504,125 @@ class SchedulerService(ServiceSkeleton):
         dirs = dict(self.job_dirs or {})
         dirs[job.name] = result["dir"]
         self.job_dirs = dirs
+        attempts = dict(self.job_attempts or {})
+        attempts[job.name] = attempts.get(job.name, 0) + 1
+        self.job_attempts = attempts
+        stamped = dict(self.job_dispatched_at or {})
+        stamped[job.name] = self.env.now
+        self.job_dispatched_at = stamped
+
+    # -- fault tolerance (watchdog-driven re-dispatch) --------------------------------
+
+    @WebMethod(one_way=True)
+    def Watchdog(self):
+        """One periodic FT sweep over this job set (self-sent one-way).
+
+        For every dispatched job, probe its Status resource property at
+        the Execution Service:
+
+        * unreachable (transport fault after client retries) or resource
+          unknown → re-dispatch elsewhere;
+        * terminal status whose JobExited notification never arrived →
+          fetch GetExitCode and synthesize the completion;
+        * stuck in Created/StagingFiles past ``stuck_after`` (a lost
+          one-way Upload/UploadComplete) → re-dispatch.
+
+        Ends with a scheduling pass, which also self-heals a lost
+        Activate self-message.
+        """
+        ft = self._ft()
+        if ft is None or self.status != "Running":
+            return
+        eprs = dict(self.job_eprs or {})
+        stamped = self.job_dispatched_at or {}
+        for name, phase in dict(self.job_phase or {}).items():
+            if self.status != "Running":
+                return  # a recovery exhausted its budget mid-sweep
+            if phase != "dispatched" or name not in eprs:
+                continue
+            try:
+                status = yield from self.client.get_resource_property(
+                    eprs[name], QName(UVA, "Status"), category="watchdog"
+                )
+            except DeliveryError as fault:
+                self._recover(name, f"Execution Service unreachable: {fault}")
+                continue
+            except SoapFault:
+                # e.g. ResourceUnknownFault: the ES restarted and forgot
+                # the job; treat like an unreachable endpoint.
+                self._recover(name, "job resource lost at the Execution Service")
+                continue
+            if status in ("Exited", "Killed", "Failed"):
+                try:
+                    code = yield from self.client.call(
+                        eprs[name], UVA, "GetExitCode", category="watchdog"
+                    )
+                except (SoapFault, DeliveryError):
+                    continue  # try again next sweep
+                yield from self._job_exited(
+                    name, code if code is not None else -1
+                )
+            elif status in ("Created", "StagingFiles"):
+                since = stamped.get(name)
+                if since is not None and self.env.now - since >= ft.stuck_after:
+                    self._recover(
+                        name,
+                        f"staging stalled for {self.env.now - since:.1f}s",
+                        exclude_machine=False,
+                    )
+        if self.status == "Running":
+            yield from self._schedule_ready_jobs()
+
+    def _recover(self, job_name: str, reason: str, exclude_machine: bool = True):
+        """Re-queue *job_name* after its dispatch was lost (§watchdog)."""
+        ft = self._ft()
+        done = (self.job_attempts or {}).get(job_name, 1)
+        from_machine = (self.job_machine or {}).get(job_name, "?")
+        if ft is None or done - 1 >= ft.max_redispatches:
+            phases = dict(self.job_phase or {})
+            phases[job_name] = "failed"
+            self.job_phase = phases
+            self.status = "Failed"
+            self._announce(
+                "failed",
+                detail=f"{job_name}: recovery budget exhausted ({reason})",
+            )
+            return
+        if exclude_machine and from_machine != "?":
+            by_job = {k: list(v) for k, v in (self.job_excluded or {}).items()}
+            names = by_job.setdefault(job_name, [])
+            if from_machine not in names:
+                names.append(from_machine)
+            self.job_excluded = by_job
+        phases = dict(self.job_phase or {})
+        phases[job_name] = "pending"
+        self.job_phase = phases
+        tracing.record(
+            self.machine, 11, "Scheduler",
+            f"recover {job_name} from {from_machine}: {reason}",
+        )
+        self._announce_recovery(job_name, from_machine, reason)
+
+    def _announce_recovery(self, job_name: str, from_machine: str, reason: str):
+        """Broadcast a JobRecovery event carrying a typed WS-BaseFault."""
+        wrapper = self.wsrf.wrapper
+        broker_epr = getattr(wrapper, "broker_epr", None)
+        if broker_epr is None:
+            return
+        from repro.wsn.base_notification import build_notify_body
+        from repro.xmlx import Element
+
+        payload = Element(QName(UVA, "JobRecovery"))
+        payload.set("job", job_name)
+        payload.set("from", from_machine)
+        fault = EndpointUnreachableFault(
+            description=reason, timestamp=self.env.now
+        )
+        payload.append(fault.to_detail_element())
+        body = build_notify_body(
+            f"{self.topic}/recovery", payload, wrapper.service_epr()
+        )
+        fire_and_forget(self.env, wrapper.client, broker_epr, body)
 
     def _resolve(self, ref: FileRef, job_name: str, name_map) -> Dict:
         """Turn a FileRef into the paper's {EPR, filename, jobname} tuple."""
@@ -442,3 +675,38 @@ class SchedulerService(ServiceSkeleton):
             f"{self.topic}/{outcome}", payload, wrapper.service_epr()
         )
         fire_and_forget(self.env, wrapper.client, broker_epr, body)
+
+
+def _start_watchdog(wrapper, rid: str, jobset_epr, ft: FaultToleranceConfig):
+    """Detached per-job-set process driving periodic Watchdog sweeps.
+
+    It peeks the stored job set state between sleeps and stops once the
+    set leaves Running (or is destroyed); each tick is a one-way
+    self-message so the sweep itself runs through the normal dispatch
+    pipeline, under the resource lock with state loaded (the Activate
+    pattern).  The loopback link is exempt from fault injection, so the
+    watchdog keeps ticking no matter how lossy the wide network is.
+    """
+    env = wrapper.env
+    status_key = QName(UVA, "status")
+
+    def loop(env):
+        while True:
+            yield env.timeout(ft.watchdog_period)
+            try:
+                state = wrapper.store.load(wrapper.service_name, rid)
+            except Exception:
+                return  # job set destroyed
+            if state.get(status_key, "Running") != "Running":
+                return
+            try:
+                yield from wrapper.client.call(
+                    jobset_epr, UVA, "Watchdog",
+                    category="watchdog", one_way=True,
+                )
+            except Exception:
+                return  # scheduler host itself went down
+
+    # Every failure path inside loop() is absorbed, so the detached
+    # process can never re-raise at the end of the run.
+    return env.process(loop(env))

@@ -52,7 +52,23 @@ class Testbed:
         scheduling_policy: str = "best",
         cores_per_machine: int = 1,
         n_linux_machines: int = 0,
+        retry_policy=None,
+        fault_tolerance=None,
+        broker_redelivery=None,
     ) -> None:
+        """Assemble the grid; optional knobs enable fault tolerance.
+
+        ``retry_policy``/``fault_tolerance``/``broker_redelivery`` (see
+        docs/fault_tolerance.md) work as follows: ``retry_policy`` (a
+        :class:`repro.net.retry.RetryPolicy`) is attached to every
+        service's outbound client and becomes the default for
+        :meth:`make_client`; ``fault_tolerance`` (a
+        :class:`repro.gridapp.scheduler.FaultToleranceConfig`) turns on
+        Scheduler re-dispatch; ``broker_redelivery`` (another
+        RetryPolicy) bounds broker notification redelivery before a dead
+        subscriber is dropped.  All default to off, preserving the
+        paper's fail-fast semantics.
+        """
         if n_machines < 1:
             raise ValueError("a grid needs at least one machine")
         self.env = Environment()
@@ -146,6 +162,20 @@ class Testbed:
         self.scheduler.rng = np.random.default_rng(seed + 1)
         self.scheduler.gt4_machines = {m.name for m in self.linux_machines}
 
+        # -- fault-tolerance layer (all opt-in) ----------------------------------
+        self.retry_policy = retry_policy
+        if fault_tolerance is not None:
+            self.scheduler.fault_tolerance = fault_tolerance
+        if broker_redelivery is not None:
+            from repro.wsn.broker import enable_redelivery
+
+            enable_redelivery(self.broker, broker_redelivery)
+        if retry_policy is not None:
+            wrappers = [self.scheduler, self.broker, self.node_info]
+            wrappers += list(self.fss.values()) + list(self.es.values())
+            for wrapper in wrappers:
+                wrapper.client.retry_policy = retry_policy
+
         self._client_seq = 0
 
     def _enroll(self, machine: Machine) -> None:
@@ -159,6 +189,7 @@ class Testbed:
         username: str = GRID_USER,
         password: str = GRID_PASSWORD,
         grid_identity: bool = False,
+        retry_policy=None,
     ) -> GridClient:
         """A scientist's machine, attached to the campus network.
 
@@ -185,6 +216,9 @@ class Testbed:
             scheduler_cert=self.central.cert,
             user_keys=user_keys,
             user_cert=user_cert,
+            retry_policy=(
+                retry_policy if retry_policy is not None else self.retry_policy
+            ),
         )
 
     # -- execution helpers -----------------------------------------------------------------

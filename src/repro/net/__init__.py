@@ -14,7 +14,10 @@ machines across the UVa campus).  It provides:
 - one-way messaging (fire-and-forget, connection closed after send) in
   addition to request/response;
 - byte/message accounting (:class:`NetworkStats`) used by the D-2/D-4/D-5
-  benchmarks.
+  benchmarks;
+- opt-in deterministic link-fault injection (:mod:`repro.net.faults`)
+  and the client-side :class:`RetryPolicy` (:mod:`repro.net.retry`)
+  that recovers from it — the chaos-test substrate.
 
 Calibration constants live in :class:`NetworkParams`; the defaults are
 2004-era campus LAN values.
@@ -24,14 +27,21 @@ from repro.net.params import NetworkParams
 from repro.net.uri import Uri, UriError
 from repro.net.network import DeliveryError, Network, NetworkStats
 from repro.net.host import Host, PortInUse
+from repro.net.faults import FaultInjector, LinkFaultPlan
+from repro.net.retry import CallTimeout, RetryPolicy, with_retry
 
 __all__ = [
+    "CallTimeout",
     "DeliveryError",
+    "FaultInjector",
     "Host",
+    "LinkFaultPlan",
     "Network",
     "NetworkParams",
     "NetworkStats",
     "PortInUse",
+    "RetryPolicy",
     "Uri",
     "UriError",
+    "with_retry",
 ]

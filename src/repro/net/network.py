@@ -13,18 +13,29 @@ from repro.sim import Environment
 
 
 class DeliveryError(RuntimeError):
-    """Connection refused / host down / partitioned."""
+    """Connection refused / host down / partitioned / message dropped."""
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters for the benchmark harness."""
+    """Aggregate traffic and fault counters for the benchmark harness."""
 
     messages: int = 0
     bytes: int = 0
     by_scheme: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     by_category: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_category: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: injected message losses (drops still consume wire time/bandwidth)
+    drops: int = 0
+    drops_by_link: Dict[Tuple[str, str], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    #: delivery failures by cause: "drop" | "partition" | "host-down" | "refused"
+    faults: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: client-side retries taken under a RetryPolicy
+    retries: int = 0
+    #: broker-side notification redelivery attempts
+    redeliveries: int = 0
 
     def record(self, scheme: str, size: int, category: str) -> None:
         self.messages += 1
@@ -33,12 +44,25 @@ class NetworkStats:
         self.by_category[category] += 1
         self.bytes_by_category[category] += size
 
+    def record_drop(self, src: str, dst: str) -> None:
+        self.drops += 1
+        self.drops_by_link[(src, dst)] += 1
+        self.faults["drop"] += 1
+
+    def record_fault(self, kind: str) -> None:
+        self.faults[kind] += 1
+
     def reset(self) -> None:
         self.messages = 0
         self.bytes = 0
         self.by_scheme.clear()
         self.by_category.clear()
         self.bytes_by_category.clear()
+        self.drops = 0
+        self.drops_by_link.clear()
+        self.faults.clear()
+        self.retries = 0
+        self.redeliveries = 0
 
 
 @dataclass(frozen=True)
@@ -74,6 +98,38 @@ class Network:
         self._partitions: Set[Tuple[str, str]] = set()
         #: optional per-pair latency overrides {(a, b): seconds}
         self.latency_overrides: Dict[Tuple[str, str], float] = {}
+        #: opt-in deterministic link faults (see repro.net.faults)
+        self.fault_injector = None
+
+    def inject_faults(
+        self,
+        drop_probability: float = 0.0,
+        extra_latency_s: float = 0.0,
+        seed: int = 0,
+        rng=None,
+        affect_loopback: bool = False,
+    ):
+        """Attach a seeded :class:`~repro.net.faults.FaultInjector`.
+
+        Returns the injector so callers can add per-link overrides.
+        Passing ``drop_probability=0`` with no overrides yields a
+        fault-free injector (useful to pre-wire chaos harnesses).
+        """
+        from repro.net.faults import FaultInjector, LinkFaultPlan
+
+        self.fault_injector = FaultInjector(
+            rng=rng,
+            seed=seed,
+            default=LinkFaultPlan(
+                drop_probability=drop_probability,
+                extra_latency_s=extra_latency_s,
+            ),
+            affect_loopback=affect_loopback,
+        )
+        return self.fault_injector
+
+    def clear_faults(self) -> None:
+        self.fault_injector = None
 
     # -- topology ---------------------------------------------------------------
 
@@ -100,17 +156,36 @@ class Network:
         self._partitions.discard((b, a))
 
     def latency_between(self, a: str, b: str) -> float:
-        return self.latency_overrides.get((a, b), self.params.latency_s)
+        base = self.latency_overrides.get((a, b), self.params.latency_s)
+        if self.fault_injector is not None:
+            base += self.fault_injector.extra_latency(a, b)
+        return base
 
     def _check_reachable(self, src: str, dst: str) -> Host:
         if self.host(src).down:
+            self.stats.record_fault("host-down")
             raise DeliveryError(f"source host {src!r} is down")
         if (src, dst) in self._partitions:
+            self.stats.record_fault("partition")
             raise DeliveryError(f"network partition between {src!r} and {dst!r}")
         dest = self.host(dst)
         if dest.down:
+            self.stats.record_fault("host-down")
             raise DeliveryError(f"host {dst!r} is down")
         return dest
+
+    def _message_dropped(self, src: str, dst: str) -> bool:
+        """Decide (and account) the loss of one message on src→dst.
+
+        The decision is drawn when the send is initiated so the RNG
+        sequence is independent of NIC queueing order; the caller still
+        charges the wire time before acting on a drop (the bytes left
+        the NIC and vanished in the fabric).
+        """
+        if self.fault_injector is None or not self.fault_injector.should_drop(src, dst):
+            return False
+        self.stats.record_drop(src, dst)
+        return True
 
     # -- transports ----------------------------------------------------------------
 
@@ -172,10 +247,16 @@ class Network:
         size = len(payload.encode("utf-8"))
         # Sender-side XML serialization cost.
         yield self.env.timeout(self.params.xml_cost(size))
+        request_dropped = self._message_dropped(src_host, uri.host)
         yield from self._transmit(src, uri.host, uri.scheme, size, category)
+        if request_dropped:
+            raise DeliveryError(
+                f"request dropped on link {src_host!r}->{uri.host!r}"
+            )
 
         server = dest.server_on(port)
         if server is None:
+            self.stats.record_fault("refused")
             raise DeliveryError(f"connection refused: {uri.host}:{port}")
         # Receiver-side parse cost.
         yield self.env.timeout(self.params.xml_cost(size))
@@ -185,7 +266,14 @@ class Network:
             response = ""
         resp_size = len(response.encode("utf-8"))
         yield self.env.timeout(self.params.xml_cost(resp_size))
+        # NOTE: the server has already executed by now — losing the
+        # response leg makes a retried call at-least-once.
+        response_dropped = self._message_dropped(uri.host, src_host)
         yield from self._transmit(dest, src_host, uri.scheme, resp_size, category)
+        if response_dropped:
+            raise DeliveryError(
+                f"response dropped on link {uri.host!r}->{src_host!r}"
+            )
         yield self.env.timeout(self.params.xml_cost(resp_size))
         return response
 
@@ -209,6 +297,9 @@ class Network:
             raise DeliveryError(f"no transport for scheme {scheme!r}")
         src = self.host(src_host)
         self._check_reachable(src_host, dst_host)
+        # Bulk streams ride an established session and are not subject to
+        # injected drops (the set-up RPC already was); extra link latency
+        # still applies via latency_between.
         yield from self._transmit(src, dst_host, scheme, size, category)
 
     def send_one_way(self, src_host: str, url: str, payload: str, category: str = "oneway"):
@@ -231,10 +322,16 @@ class Network:
             yield self.env.timeout(connect)
         size = len(payload.encode("utf-8"))
         yield self.env.timeout(self.params.xml_cost(size))
+        dropped = self._message_dropped(src_host, uri.host)
         yield from self._transmit(src, uri.host, uri.scheme, size, category)
+        if dropped:
+            # Fire-and-forget: the sender gets no error — the message
+            # is simply never delivered (§4.1 one-way loss semantics).
+            return None
 
         server = dest.server_on(port)
         if server is None:
+            self.stats.record_fault("refused")
             raise DeliveryError(f"connection refused: {uri.host}:{port}")
         ctx = DeliveryContext(source_host=src_host, scheme=uri.scheme, one_way=True, path=uri.path)
 

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.net import DeliveryError
 from repro.soap import SoapFault
 from repro.wsa import EndpointReference
 from repro.wsn.topics import CONCRETE_DIALECT, TopicExpression, TopicExpressionError
@@ -139,6 +143,16 @@ class NotificationProducer:
         #: callbacks run after any subscription change (add/pause/destroy);
         #: used by brokers for demand-based publishing
         self.on_subscriptions_changed: list = []
+        #: optional RetryPolicy: bounded redelivery to unreachable
+        #: consumers before the subscription is dropped.  None (default)
+        #: keeps the documented one-way loss semantics.
+        self.redelivery_policy = None
+        self.redeliveries = 0
+        #: subscription ids dropped after exhausting redelivery
+        self.dropped_subscribers: list = []
+        self._redelivery_rng = np.random.default_rng(
+            zlib.crc32(wrapper.path.encode("utf-8"))
+        )
         wrapper.publish_hook = self.publish
         wrapper.on_resource_destroyed.append(self._forget)
         wrapper.notification_producer = self
@@ -209,17 +223,57 @@ class NotificationProducer:
         if len(self.topics_seen) < self._topics_cap:
             self.topics_seen.add(topic_path)
         body = build_notify_body(topic_path, payload, wrapper.service_epr())
-        raw_targets = [
-            sub.consumer
+        targets = [
+            sub
             for sub in self.subscriptions.values()
             if not sub.paused and sub.expression.matches(topic_path)
         ]
         env = wrapper.env
         client = wrapper.client
-        for consumer in raw_targets:
-            fire_and_forget(env, client, consumer, body)
-        self.notifications_sent += len(raw_targets)
-        return len(raw_targets)
+        for sub in targets:
+            if self.redelivery_policy is None:
+                fire_and_forget(env, client, sub.consumer, body)
+            else:
+                env.process(self._redeliver(sub, body))
+        self.notifications_sent += len(targets)
+        return len(targets)
+
+    def _redeliver(self, sub: Subscription, body: Element):
+        """Detached coroutine: bounded redelivery, then drop the subscriber.
+
+        A one-way send only fails observably when the consumer is
+        unreachable (host down, partition, port unbound); those failures
+        are retried per the policy.  Silent in-fabric losses remain
+        undetectable by design — redelivery hardens reachability, it
+        does not make one-way messaging reliable.  When the budget is
+        exhausted the subscription resource is destroyed: a consumer
+        that stays unreachable stops costing the broker send slots.
+        """
+        wrapper = self.wrapper
+        policy = self.redelivery_policy
+        env = wrapper.env
+        failures = 0
+        while True:
+            try:
+                yield from wrapper.client.invoke(
+                    sub.consumer, body, category="notify", one_way=True
+                )
+                return
+            except DeliveryError:
+                failures += 1
+                if failures >= max(1, policy.max_attempts):
+                    break
+                self.redeliveries += 1
+                wrapper.machine.network.stats.redeliveries += 1
+                yield env.timeout(policy.delay_for(failures, self._redelivery_rng))
+            except Exception:
+                return  # non-transport failure: plain one-way loss
+        if sub.resource_id in self.subscriptions:
+            self.dropped_subscribers.append(sub.resource_id)
+            try:
+                wrapper.destroy_resource(sub.resource_id)
+            except Exception:
+                self.subscriptions.pop(sub.resource_id, None)
 
 
 def attach_notification_producer(wrapper) -> NotificationProducer:

@@ -181,6 +181,13 @@ class NotificationBrokerService(ServiceSkeleton):
         producer = getattr(self.wsrf.wrapper, "notification_producer", None)
         return len(producer.subscriptions) if producer is not None else 0
 
+    @ResourceProperty
+    @property
+    def DroppedSubscribers(self) -> int:
+        """Subscriptions dropped after exhausting redelivery attempts."""
+        producer = getattr(self.wsrf.wrapper, "notification_producer", None)
+        return len(producer.dropped_subscribers) if producer is not None else 0
+
     @WebMethod(requires_resource=False)
     def Ping(self) -> str:
         """Liveness probe used by testbed assembly."""
@@ -194,3 +201,16 @@ def deploy_broker(machine, path: str = "NotificationBroker"):
     wrapper = deploy(NotificationBrokerService, machine, path)
     attach_notification_producer(wrapper)
     return wrapper
+
+
+def enable_redelivery(wrapper, policy):
+    """Give *wrapper*'s producer bounded notification redelivery.
+
+    *policy* is a :class:`repro.net.retry.RetryPolicy`; a consumer that
+    stays unreachable for ``policy.max_attempts`` one-way sends has its
+    subscription destroyed (visible via the broker's DroppedSubscribers
+    resource property).  Pass ``None`` to restore pure fire-and-forget.
+    """
+    producer = attach_notification_producer(wrapper)
+    producer.redelivery_policy = policy
+    return producer

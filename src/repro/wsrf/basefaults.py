@@ -135,4 +135,16 @@ class UnableToModifyResourcePropertyFault(BaseFault):
     FAULT_QNAME = QName(NS.WSRF_RP, "UnableToModifyResourcePropertyFault")
 
 
+class EndpointUnreachableFault(BaseFault):
+    """A service endpoint could not be reached despite retries.
+
+    Raised/broadcast by the fault-tolerance layer (e.g. the Scheduler's
+    watchdog when a dispatched job's Execution Service stops answering)
+    so recovery actions carry a typed WS-BaseFault in their event
+    payloads rather than a bare transport error.
+    """
+
+    FAULT_QNAME = QName(NS.UVACG, "EndpointUnreachableFault")
+
+
 _REGISTRY[BaseFault.FAULT_QNAME] = BaseFault

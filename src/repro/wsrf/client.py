@@ -11,9 +11,13 @@ against hand-rolled per-service proxies.)
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from repro.net import Network
+from repro.net.retry import RetryPolicy, with_retry
 from repro.soap import SoapEnvelope, SoapFault, from_typed_element, to_typed_element
 from repro.wsa import AddressingHeaders, EndpointReference
 from repro.wsrf.basefaults import BaseFault
@@ -29,11 +33,42 @@ from repro.xmlx import NS, Element, QName
 
 
 class WsrfClient:
-    """Issues SOAP calls from a given source host to any EPR."""
+    """Issues SOAP calls from a given source host to any EPR.
 
-    def __init__(self, network: Network, source_host: str) -> None:
+    With a :class:`~repro.net.retry.RetryPolicy` attached, transport
+    faults (``DeliveryError``, per-call timeouts) on request/response
+    calls are retried with exponential backoff before surfacing; SOAP
+    faults always propagate immediately.  One-way sends are never
+    retried here — their loss semantics belong to the sender's layer
+    (see broker redelivery in :mod:`repro.wsn.base_notification`).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        source_host: str,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng=None,
+    ) -> None:
         self.network = network
         self.source_host = source_host
+        self.retry_policy = retry_policy
+        # Jitter RNG: seeded from the host name (crc32, not the salted
+        # builtin hash) so backoff schedules are stable across runs.
+        self._rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng(zlib.crc32(source_host.encode("utf-8")))
+        )
+
+    def with_policy(self, retry_policy: Optional[RetryPolicy]) -> "WsrfClient":
+        """The same endpoint with a different retry policy."""
+        return WsrfClient(
+            self.network, self.source_host, retry_policy=retry_policy
+        )
+
+    def _count_retry(self, failures: int, exc: BaseException) -> None:
+        self.network.stats.retries += 1
 
     # -- core --------------------------------------------------------------------
 
@@ -63,9 +98,20 @@ class WsrfClient:
                 self.source_host, epr.address, raw, category=category
             )
             return None
-        response_raw = yield from self.network.request(
-            self.source_host, epr.address, raw, category=category
-        )
+        if self.retry_policy is None:
+            response_raw = yield from self.network.request(
+                self.source_host, epr.address, raw, category=category
+            )
+        else:
+            response_raw = yield from with_retry(
+                self.network.env,
+                self.retry_policy,
+                lambda: self.network.request(
+                    self.source_host, epr.address, raw, category=category
+                ),
+                rng=self._rng,
+                on_retry=self._count_retry,
+            )
         response = SoapEnvelope.deserialize(response_raw)
         payload = response.body
         if SoapFault.is_fault(payload):

@@ -69,6 +69,21 @@ class ServiceProxy:
             self.advertised_resource_properties,
         )
 
+    def with_retry(self, retry_policy) -> "ServiceProxy":
+        """The same proxy whose calls run under *retry_policy*.
+
+        Transport faults on every proxied operation are retried per the
+        policy (see :class:`repro.net.retry.RetryPolicy`); pass None to
+        strip retries off again.
+        """
+        return ServiceProxy(
+            self._client.with_policy(retry_policy),
+            self._epr,
+            self._service_ns,
+            self._operations,
+            self.advertised_resource_properties,
+        )
+
     def operations(self):
         return sorted(self._operations)
 
@@ -109,8 +124,15 @@ def build_proxy(
     wsdl_doc: Element,
     epr: EndpointReference,
     service_ns: Optional[str] = None,
+    retry_policy=None,
 ) -> ServiceProxy:
-    """Generate a proxy from a WSDL document (the §5 'standard tooling')."""
+    """Generate a proxy from a WSDL document (the §5 'standard tooling').
+
+    ``retry_policy`` wraps every proxied call in the client-side retry
+    layer without the caller touching the underlying WsrfClient.
+    """
+    if retry_policy is not None:
+        client = client.with_policy(retry_policy)
     if service_ns is None:
         service_ns = wsdl_doc.get("targetNamespace") or NS.UVACG
     ops: Dict[str, str] = {}

@@ -1,0 +1,27 @@
+"""Shared test configuration.
+
+Pins a deterministic Hypothesis profile for the whole suite: property
+tests (e.g. ``test_db.py::TestStateCodec::test_roundtrip_property``)
+were flaky under the default randomized search — a fresh seed per run
+occasionally tripped the default per-example deadline on slow CI
+machines.  ``derandomize=True`` makes every run explore the same fixed
+example sequence, and ``deadline=None`` removes the wall-clock
+sensitivity (these are pure-Python codecs; a slow run is not a bug).
+Override with ``HYPOTHESIS_PROFILE=dev`` for randomized local hunting.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=50,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None, max_examples=100)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

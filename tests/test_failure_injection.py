@@ -216,3 +216,280 @@ class TestJobLevelFailures:
         # the scheduler still believes the set is running.
         status = testbed.run(scenario())
         assert status == "Running"
+
+
+class TestRetryPolicyMath:
+    """Unit tests for the RetryPolicy backoff schedule (repro.net.retry)."""
+
+    def test_exponential_backoff_without_jitter(self):
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, backoff_factor=2.0,
+            max_delay_s=10.0, jitter=0.0,
+        )
+        delays = [policy.delay_for(n) for n in (1, 2, 3, 4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_delay_capped_at_max(self):
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, backoff_factor=3.0,
+            max_delay_s=5.0, jitter=0.0,
+        )
+        assert policy.delay_for(8) == pytest.approx(5.0)
+
+    def test_jitter_stays_within_band_and_is_deterministic(self):
+        import numpy as np
+
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=1.0, backoff_factor=1.0,
+            max_delay_s=10.0, jitter=0.25,
+        )
+        delays = [
+            policy.delay_for(1, np.random.default_rng(9)) for _ in range(50)
+        ]
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        replay = [
+            policy.delay_for(1, np.random.default_rng(9)) for _ in range(50)
+        ]
+        assert delays == replay
+
+    def test_validation(self):
+        from repro.net import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+    def test_disabled_variant_is_single_attempt(self):
+        from repro.net import RetryPolicy
+
+        assert RetryPolicy(max_attempts=7).disabled().max_attempts == 1
+
+
+class TestWithRetry:
+    """The retry driver coroutine against a simulated clock."""
+
+    def _env(self):
+        from repro.sim import Environment
+
+        return Environment()
+
+    def test_returns_after_transient_failures(self):
+        from repro.net import DeliveryError, RetryPolicy
+        from repro.net.retry import with_retry
+
+        env = self._env()
+        calls = []
+
+        def attempt():
+            calls.append(env.now)
+            if len(calls) < 3:
+                raise DeliveryError("flaky")
+            return "payload"
+            yield  # pragma: no cover - makes this a generator
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=1.0, backoff_factor=2.0, jitter=0.0
+        )
+        proc = env.process(with_retry(env, policy, attempt))
+        env.run(until=proc)
+        assert proc.value == "payload"
+        assert len(calls) == 3
+        # Backoff: attempts at t=0, t=1, t=1+2.
+        assert calls == pytest.approx([0.0, 1.0, 3.0])
+
+    def test_exhausted_attempts_raise_last_error(self):
+        from repro.net import DeliveryError, RetryPolicy
+        from repro.net.retry import with_retry
+
+        env = self._env()
+        calls = []
+
+        def attempt():
+            calls.append(env.now)
+            raise DeliveryError("always down")
+            yield  # pragma: no cover
+
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter=0.0)
+        proc = env.process(with_retry(env, policy, attempt))
+        with pytest.raises(DeliveryError, match="always down"):
+            env.run(until=proc)
+        assert len(calls) == 3
+
+    def test_per_call_timeout_abandons_slow_attempt(self):
+        from repro.net import CallTimeout, RetryPolicy
+        from repro.net.retry import with_retry
+
+        env = self._env()
+        calls = []
+
+        def attempt():
+            calls.append(env.now)
+            if len(calls) == 1:
+                yield env.timeout(100.0)  # server never answers in time
+                return "too late"
+            yield env.timeout(0.1)
+            return "fast"
+
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=1.0, jitter=0.0, timeout_s=5.0
+        )
+        proc = env.process(with_retry(env, policy, attempt))
+        env.run(until=proc)
+        assert proc.value == "fast"
+        # Second attempt starts at timeout (5s) + backoff (1s).
+        assert calls == pytest.approx([0.0, 6.0])
+        env.run()  # the abandoned attempt must not blow up the schedule
+
+    def test_timeout_exhaustion_raises_call_timeout(self):
+        from repro.net import CallTimeout, RetryPolicy
+        from repro.net.retry import with_retry
+
+        env = self._env()
+
+        def attempt():
+            yield env.timeout(100.0)
+            return "never"
+
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=1.0, jitter=0.0, timeout_s=2.0
+        )
+        proc = env.process(with_retry(env, policy, attempt))
+        with pytest.raises(CallTimeout):
+            env.run(until=proc)
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        from repro.net import RetryPolicy
+        from repro.net.retry import with_retry
+
+        env = self._env()
+        calls = []
+
+        def attempt():
+            calls.append(env.now)
+            raise SoapFault("soap:Server", "application fault")
+            yield  # pragma: no cover
+
+        policy = RetryPolicy(max_attempts=5, base_delay_s=1.0, jitter=0.0)
+        proc = env.process(with_retry(env, policy, attempt))
+        with pytest.raises(SoapFault):
+            env.run(until=proc)
+        assert len(calls) == 1
+
+
+class TestWatchdogRedispatch:
+    """FT layer: the Scheduler survives an ES dying mid-run."""
+
+    def _ft_testbed(self):
+        from repro.gridapp import FaultToleranceConfig
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=0.2, max_delay_s=2.0, timeout_s=30.0
+        )
+        tb = Testbed(
+            n_machines=3,
+            seed=31,
+            retry_policy=policy,
+            fault_tolerance=FaultToleranceConfig(
+                watchdog_period=5.0, stuck_after=60.0
+            ),
+        )
+        tb.programs.register(
+            make_compute_program("slow", 60.0, outputs={"o": b"1"})
+        )
+        return tb
+
+    def test_job_redispatched_when_machine_dies_midrun(self):
+        tb = self._ft_testbed()
+        client = tb.make_client()
+        spec = _one_job(client, tb, program="slow")
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(spec)
+            yield tb.env.timeout(10.0)
+            rid = jobset_epr.get(QName(UVA, "ResourceID"))
+            state = tb.scheduler.store.load("Scheduler", rid)
+            where = state[QName(UVA, "job_machine")]["j1"]
+            machine = next(m for m in tb.machines if m.name == where)
+            machine.host.down = True
+            for process in machine.procspawn.processes:
+                process.kill()  # power loss
+            outcome = yield from client.poll_until_complete(
+                jobset_epr, period=5.0, give_up_after=500.0
+            )
+            return outcome, jobset_epr, topic, where
+
+        outcome, jobset_epr, topic, victim = tb.run(scenario())
+        assert outcome == "completed"
+        rid = jobset_epr.get(QName(UVA, "ResourceID"))
+        state = tb.scheduler.store.load("Scheduler", rid)
+        assert state[QName(UVA, "job_machine")]["j1"] != victim
+        assert state[QName(UVA, "job_attempts")]["j1"] == 2
+        # The recovery is visible in the trace (step 11)...
+        recoveries = tb.trace.events_for_step(11)
+        assert recoveries and "j1" in recoveries[0].detail
+        # ... and announced on the job set's topic as a typed event.
+        tb.settle()
+        from repro.gridapp import build_report
+
+        report = build_report(client.listener.received, topic)
+        assert report.total_recoveries >= 1
+        assert report.jobs["j1"].recoveries[0].from_machine == victim
+
+    def test_recovery_budget_exhaustion_fails_the_set(self):
+        """Every machine dies: re-dispatch runs out of candidates and the
+        set fails instead of hanging forever."""
+        tb = self._ft_testbed()
+        client = tb.make_client()
+        spec = _one_job(client, tb, program="slow")
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(spec)
+            yield tb.env.timeout(10.0)
+            for machine in tb.machines:
+                machine.host.down = True
+                for process in machine.procspawn.processes:
+                    process.kill()
+            outcome = yield from client.poll_until_complete(
+                jobset_epr, period=5.0, give_up_after=1000.0
+            )
+            return outcome
+
+        assert tb.run(scenario()) == "failed"
+
+    def test_ft_disabled_preserves_fail_fast(self):
+        """Without a FaultToleranceConfig the §5 stale-view behaviour of
+        the seed testbed is untouched (cf. TestJobLevelFailures)."""
+        tb = Testbed(n_machines=3, seed=31)
+        tb.programs.register(
+            make_compute_program("slow2", 60.0, outputs={"o": b"1"})
+        )
+        client = tb.make_client()
+        spec = _one_job(client, tb, program="slow2")
+
+        def scenario():
+            jobset_epr, topic = yield from client.submit(spec)
+            yield tb.env.timeout(10.0)
+            rid = jobset_epr.get(QName(UVA, "ResourceID"))
+            state = tb.scheduler.store.load("Scheduler", rid)
+            where = state[QName(UVA, "job_machine")]["j1"]
+            machine = next(m for m in tb.machines if m.name == where)
+            machine.host.down = True
+            for process in machine.procspawn.processes:
+                process.kill()
+            yield tb.env.timeout(60.0)
+            status = yield from client.soap.get_resource_property(
+                jobset_epr, QName(UVA, "Status")
+            )
+            return status
+
+        assert tb.run(scenario()) == "Running"

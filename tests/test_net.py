@@ -327,3 +327,120 @@ class TestTransferTimeProperties:
         assert p.transfer_time(size, p.soaptcp_overhead_B) < p.transfer_time(
             size, p.http_overhead_B
         )
+
+
+class TestFaultInjection:
+    """Link-level fault injection (repro.net.faults)."""
+
+    def test_request_drop_raises_delivery_error(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        net.inject_faults(drop_probability=1.0, seed=1)
+        with pytest.raises(DeliveryError, match="dropped on link"):
+            _run(env, net.request("node0", "http://node1/x", "m"))
+        assert net.stats.drops >= 1
+        assert net.stats.faults.get("drop", 0) >= 1
+        assert net.stats.drops_by_link.get(("node0", "node1"), 0) >= 1
+
+    def test_one_way_drop_is_silent(self):
+        env, net, (a, b) = _fabric()
+        log = []
+        b.bind(80, _EchoServer(env, log=log))
+        net.inject_faults(drop_probability=1.0, seed=1)
+
+        def sender(env):
+            yield from net.send_one_way("node0", "http://node1/x", "note")
+            return "returned"
+
+        assert _run(env, sender(env)) == "returned"
+        env.run()
+        assert log == []  # lost without any error at the sender
+        assert net.stats.drops >= 1
+
+    def test_zero_probability_draws_nothing(self):
+        """p=0 must not consume RNG draws, so adding lossless links to a
+        scenario cannot perturb the fault sequence elsewhere."""
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        injector = net.inject_faults(drop_probability=0.0, seed=5)
+        _run(env, net.request("node0", "http://node1/x", "m"))
+        assert injector.draws == 0 and injector.drops == 0
+
+    def test_deterministic_given_seed(self):
+        def drop_pattern(seed):
+            env, net, (a, b) = _fabric()
+            b.bind(80, _EchoServer(env))
+            net.inject_faults(drop_probability=0.5, seed=seed)
+            pattern = []
+            for _ in range(20):
+                try:
+                    _run(env, net.request("node0", "http://node1/x", "m"))
+                    pattern.append(0)
+                except DeliveryError:
+                    pattern.append(1)
+            return pattern
+
+        assert drop_pattern(7) == drop_pattern(7)
+        assert drop_pattern(7) != drop_pattern(8)
+
+    def test_loopback_exempt(self):
+        env, net, (a, b) = _fabric()
+        a.bind(80, _EchoServer(env))
+        net.inject_faults(drop_probability=1.0, seed=1)
+        reply = _run(env, net.request("node0", "http://node0:80/x", "m"))
+        assert reply == "echo:m"
+
+    def test_extra_latency_applied(self):
+        env1, net1, (_, b1) = _fabric()
+        b1.bind(80, _EchoServer(env1))
+        _run(env1, net1.request("node0", "http://node1/x", "m"))
+        base = env1.now
+
+        env2, net2, (_, b2) = _fabric()
+        b2.bind(80, _EchoServer(env2))
+        net2.inject_faults(extra_latency_s=0.25, seed=1)
+        _run(env2, net2.request("node0", "http://node1/x", "m"))
+        # Every link traversal (handshake legs included) pays the extra
+        # latency, so the round trip grows by at least two of them.
+        assert env2.now >= base + 0.5
+
+    def test_per_link_plan_overrides_default(self):
+        from repro.net import LinkFaultPlan
+
+        env, net, hosts = _fabric(n_hosts=3)
+        hosts[1].bind(80, _EchoServer(env))
+        hosts[2].bind(80, _EchoServer(env))
+        injector = net.inject_faults(drop_probability=0.0, seed=3)
+        injector.set_link("node0", "node2", LinkFaultPlan(drop_probability=1.0))
+        assert _run(env, net.request("node0", "http://node1/x", "m")) == "echo:m"
+        with pytest.raises(DeliveryError, match="dropped"):
+            _run(env, net.request("node0", "http://node2/x", "m"))
+        injector.clear_link("node0", "node2")
+        assert _run(env, net.request("node0", "http://node2/x", "m")) == "echo:m"
+
+    def test_clear_faults(self):
+        env, net, (a, b) = _fabric()
+        b.bind(80, _EchoServer(env))
+        net.inject_faults(drop_probability=1.0, seed=1)
+        net.clear_faults()
+        assert _run(env, net.request("node0", "http://node1/x", "m")) == "echo:m"
+
+    def test_bulk_transfer_exempt_from_drops(self):
+        env, net, (a, b) = _fabric()
+        net.inject_faults(drop_probability=1.0, seed=1)
+
+        def xfer(env):
+            yield from net.bulk_transfer("node0", "node1", "http", 10_000)
+            return "ok"
+
+        assert _run(env, xfer(env)) == "ok"
+
+    def test_plan_validation(self):
+        from repro.net import LinkFaultPlan
+
+        with pytest.raises(ValueError):
+            LinkFaultPlan(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkFaultPlan(drop_probability=-0.1)
+        with pytest.raises(ValueError):
+            LinkFaultPlan(extra_latency_s=-1.0)

@@ -414,3 +414,120 @@ class TestDemandPublishing:
         run(env, client.invoke(sub_epr, Element(PAUSE_SUBSCRIPTION)))
         env.run(until=env.now + 1.0)
         assert self._is_publishing(env, client, sensor) is False
+
+
+class TestBrokerRedelivery:
+    """Bounded notification redelivery, then dropping the subscriber."""
+
+    def _policy(self, attempts=3):
+        from repro.net import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=attempts, base_delay_s=1.0, backoff_factor=2.0,
+            max_delay_s=8.0, jitter=0.0,
+        )
+
+    def _broker_with_listener(self, env, net, client, policy):
+        from repro.wsn.broker import enable_redelivery
+
+        broker_machine = Machine(net, "broker-node")
+        broker = deploy_broker(broker_machine)
+        enable_redelivery(broker, policy)
+        net.add_host("watcher")
+        listener = NotificationListener(net, "watcher")
+        sub_epr = run(
+            env, client.subscribe(broker.service_epr(), listener.epr, "t/**",
+                                  dialect=FULL_DIALECT)
+        )
+        return broker, listener, sub_epr
+
+    def _notify(self, env, client, broker, text):
+        payload = Element(QName(UVA, "E"), text=text)
+        run(env, client.invoke(
+            broker.service_epr(), build_notify_body("t/e", payload),
+            category="producer-notify",
+        ))
+
+    def test_transient_outage_is_redelivered(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        broker, listener, sub_epr = self._broker_with_listener(
+            env, net, client, self._policy(attempts=4)
+        )
+        net.host("watcher").down = True
+
+        def heal(env):
+            yield env.timeout(2.5)  # back up before attempts run out
+            net.host("watcher").down = False
+
+        env.process(heal(env))
+        self._notify(env, client, broker, "eventually")
+        env.run()
+        assert [n.payload.full_text() for n in listener.received] == ["eventually"]
+        producer = broker.notification_producer
+        assert producer.redeliveries >= 1
+        assert net.stats.redeliveries == producer.redeliveries
+        assert producer.dropped_subscribers == []
+        assert len(producer.subscriptions) == 1
+
+    def test_exhaustion_drops_the_subscriber(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        broker, listener, sub_epr = self._broker_with_listener(
+            env, net, client, self._policy(attempts=3)
+        )
+        net.host("watcher").down = True
+        self._notify(env, client, broker, "never")
+        env.run()
+        producer = broker.notification_producer
+        assert listener.received == []
+        assert len(producer.dropped_subscribers) == 1
+        assert producer.subscriptions == {}
+        # Later publishes have no one to go to; no error either.
+        net.host("watcher").down = False
+        self._notify(env, client, broker, "late")
+        env.run()
+        assert listener.received == []
+
+    def test_dropped_subscribers_resource_property(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        broker, listener, sub_epr = self._broker_with_listener(
+            env, net, client, self._policy(attempts=2)
+        )
+        # RPs are served in the context of a WS-Resource; the
+        # subscription itself is the natural one to ask.
+        assert run(env, client.get_resource_property(
+            sub_epr, QName(NS.WSBN, "DroppedSubscribers")
+        )) == 0
+        net.host("watcher").down = True
+        self._notify(env, client, broker, "x")
+        env.run()
+        # The subscription was destroyed with its consumer; ask a fresh
+        # subscription's resource for the broker-wide count.
+        net.add_host("watcher2")
+        listener2 = NotificationListener(net, "watcher2")
+        sub2 = run(env, client.subscribe(
+            broker.service_epr(), listener2.epr, "t/**", dialect=FULL_DIALECT
+        ))
+        assert run(env, client.get_resource_property(
+            sub2, QName(NS.WSBN, "DroppedSubscribers")
+        )) == 1
+
+    def test_without_policy_loss_is_silent_and_subscription_kept(self, fabric):
+        """Seed semantics (§4.1 one-way loss) are untouched by default."""
+        env, net, pm, wrapper, client = fabric
+        broker_machine = Machine(net, "broker-node")
+        broker = deploy_broker(broker_machine)
+        net.add_host("watcher")
+        listener = NotificationListener(net, "watcher")
+        run(env, client.subscribe(broker.service_epr(), listener.epr, "t/**",
+                                  dialect=FULL_DIALECT))
+        net.host("watcher").down = True
+        payload = Element(QName(UVA, "E"), text="gone")
+        run(env, client.invoke(
+            broker.service_epr(), build_notify_body("t/e", payload),
+            category="producer-notify",
+        ))
+        env.run()
+        producer = broker.notification_producer
+        assert listener.received == []
+        assert producer.dropped_subscribers == []
+        assert len(producer.subscriptions) == 1
