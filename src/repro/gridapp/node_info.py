@@ -57,7 +57,7 @@ class NodeInfoService(ServiceGroupService):
     # Inherits SERVICE_NS = NS.WSRF_SG, so Add/CreateGroup keep their
     # spec QNames; ReportUtilization/GetProcessors live there too.
 
-    @WebMethod(requires_resource=False)
+    @WebMethod(requires_resource=False, one_way=True)
     def ReportUtilization(self, machine_name: str, utilization: float) -> int:
         """One-way from a machine's Processor Utilization service."""
         wrapper = self.wsrf.wrapper

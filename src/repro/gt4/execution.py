@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.gridapp.execution_service import ExecutionService
+from repro.wsrf.basefaults import AuthenticationFault
 from repro.wssec import SecurityError, UsernameToken, open_x509_security_header
 from repro.xmlx import NS, QName
 
@@ -25,21 +26,36 @@ class Gt4ExecutionService(ExecutionService):
     """
 
     def _authenticate_request(self) -> UsernameToken:
+        # Authentication failures are raised as typed AuthenticationFaults
+        # (WS-BaseFaults) so callers can reconstruct them, rather than the
+        # untyped soap:Server string a bare SecurityError would become.
         machine = self.machine
         header = self.wsrf.envelope.find_header(_WSSE_SECURITY)
         if header is None:
-            raise SecurityError("GT4 ES requires a wsse:Security header")
+            raise AuthenticationFault(
+                description="GT4 ES requires a wsse:Security header",
+                timestamp=self.env.now,
+            )
         ca = getattr(machine, "trusted_ca", None)
         if ca is None:
-            raise SecurityError(
-                f"machine {machine.name!r} has no trusted CA configured"
+            raise AuthenticationFault(
+                description=f"machine {machine.name!r} has no trusted CA configured",
+                timestamp=self.env.now,
             )
-        cert = open_x509_security_header(header, ca, now=self.env.now)
+        try:
+            cert = open_x509_security_header(header, ca, now=self.env.now)
+        except SecurityError as exc:
+            raise AuthenticationFault(
+                description=str(exc), timestamp=self.env.now
+            ) from exc
         local_user = machine.users.resolve_grid_credential(cert.subject)
         if local_user is None:
-            raise SecurityError(
-                f"subject {cert.subject!r} is not in the grid-mapfile of "
-                f"{machine.name!r}"
+            raise AuthenticationFault(
+                description=(
+                    f"subject {cert.subject!r} is not in the grid-mapfile of "
+                    f"{machine.name!r}"
+                ),
+                timestamp=self.env.now,
             )
         # The fork starter only checks account existence; no password.
         return UsernameToken(local_user, "")

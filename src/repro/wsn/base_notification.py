@@ -270,10 +270,17 @@ class NotificationProducer:
                 return  # non-transport failure: plain one-way loss
         if sub.resource_id in self.subscriptions:
             self.dropped_subscribers.append(sub.resource_id)
+            # Take the subscription's resource lock before destroying it: a
+            # concurrent Unsubscribe/PauseSubscription handler may be mid
+            # load-modify-save on the same resource.
+            lock = wrapper.resource_lock(sub.resource_id)
+            yield lock.acquire()
             try:
                 wrapper.destroy_resource(sub.resource_id)
             except Exception:
                 self.subscriptions.pop(sub.resource_id, None)
+            finally:
+                lock.release()
 
 
 def attach_notification_producer(wrapper) -> NotificationProducer:

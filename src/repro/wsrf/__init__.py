@@ -36,6 +36,7 @@ from repro.wsrf.attributes import (
     WSRFPortType,
 )
 from repro.wsrf.basefaults import (
+    AuthenticationFault,
     BaseFault,
     InvalidResourcePropertyQNameFault,
     InvalidQueryExpressionFault,
@@ -60,6 +61,7 @@ from repro.wsrf.servicegroup import ServiceGroupService
 from repro.wsrf.wsdl import generate_wsdl
 
 __all__ = [
+    "AuthenticationFault",
     "BaseFault",
     "GetMultipleResourcePropertiesPortType",
     "GetResourcePropertyPortType",

@@ -135,6 +135,19 @@ class UnableToModifyResourcePropertyFault(BaseFault):
     FAULT_QNAME = QName(NS.WSRF_RP, "UnableToModifyResourcePropertyFault")
 
 
+class AuthenticationFault(BaseFault):
+    """The request's WS-Security credentials were rejected.
+
+    Raised by services (e.g. the GT4-flavored Execution Service) when
+    the wsse:Security header is missing, the X.509 token fails CA
+    verification, or the subject has no grid-mapfile entry — so clients
+    get a reconstructible typed fault instead of an untyped soap:Server
+    string.
+    """
+
+    FAULT_QNAME = QName(NS.UVACG, "AuthenticationFault")
+
+
 class EndpointUnreachableFault(BaseFault):
     """A service endpoint could not be reached despite retries.
 

@@ -234,16 +234,25 @@ class WrapperService:
                     if when is not None and when <= now
                 ]
                 for rid in expired:
+                    # Take the resource lock: an in-flight invocation may be
+                    # mid load-modify-save on this resource, and destroying
+                    # it under that handler loses its write (or resurrects
+                    # the resource when the handler saves after us).
+                    lock = self.resource_lock(rid)
+                    yield lock.acquire()
                     try:
-                        state = self.store.load(self.service_name, rid)
-                    except NoSuchResource:
-                        self._termination.pop(rid, None)
-                        continue
-                    instance = self.service_cls()
-                    self._populate_instance(instance, state)
-                    instance._invocation = InvocationContext(self, rid, None, None)
-                    instance.wsrf_on_destroy()
-                    self.destroy_resource(rid)
+                        try:
+                            state = self.store.load(self.service_name, rid)
+                        except NoSuchResource:
+                            self._termination.pop(rid, None)
+                            continue
+                        instance = self.service_cls()
+                        self._populate_instance(instance, state)
+                        instance._invocation = InvocationContext(self, rid, None, None)
+                        instance.wsrf_on_destroy()
+                        self.destroy_resource(rid)
+                    finally:
+                        lock.release()
 
         return self.env.process(sweeper(self.env))
 
