@@ -1,0 +1,54 @@
+"""wsrfcheck — static contract, determinism and sim-safety analysis.
+
+WSRF.NET's central lesson is that the attribute-annotated programming
+model only pays off when *tooling* checks and transforms it: the code
+generator catches contract errors before they ship.  Our reproduction
+declares the same contracts via ``@ResourceProperty`` / ``@WebMethod`` /
+``@WSRFPortType`` — this package is the checking half of that tooling.
+
+``python -m repro.analysis src/repro`` walks the source tree, extracts
+the contract model from the decorators (no imports — pure AST), and
+runs the rule catalog:
+
+- **WSRF001** proxy drift: every ``client.call(epr, ns, "Name", {...})``
+  site must match a decorated ``@WebMethod`` signature in that namespace;
+- **WSRF002** undeclared resource property access, both client-side
+  (``get_resource_property`` QNames) and service-side (``self.x = ...``
+  writes that silently bypass ``Resource`` persistence);
+- **WSRF003** faults raised by service code must be typed
+  ``BaseFault`` subclasses so clients can reconstruct them;
+- **DET001** nondeterminism: wall-clock time, global RNGs, unseeded
+  generators, unordered ``set`` iteration;
+- **SIM001** real blocking calls (``time.sleep``, sockets, file I/O)
+  inside the simulated world;
+- **SIM002** shared WS-Resource state mutated from a detached
+  simulation process without holding a ``repro.sim.sync`` primitive.
+
+See ``docs/static_analysis.md`` for the rule catalog, the
+``# wsrfcheck: ignore[RULE]`` suppression syntax, and how to add rules.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Finding,
+    Rule,
+    analyze_paths,
+    iter_rules,
+    load_baseline,
+    rule_catalog,
+)
+from repro.analysis.model import ContractModel, build_model
+
+__all__ = [
+    "AnalysisReport",
+    "ContractModel",
+    "Finding",
+    "Rule",
+    "analyze_paths",
+    "build_model",
+    "iter_rules",
+    "load_baseline",
+    "rule_catalog",
+]

@@ -1,0 +1,93 @@
+"""CLI for wsrfcheck: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when every finding is suppressed or baselined, 1
+otherwise — CI runs ``python -m repro.analysis src/repro`` and fails
+the build on any new finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import (
+    analyze_paths,
+    iter_rules,
+    load_baseline,
+    write_baseline,
+)
+
+DEFAULT_BASELINE = "wsrfcheck-baseline.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="wsrfcheck: WSRF contract, determinism and sim-safety linter",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE,
+        help=f"baseline of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    opts = parser.parse_args(argv)
+
+    if opts.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  {rule.title}")
+            if rule.description:
+                print(f"        {rule.description}")
+        return 0
+
+    rules = (
+        [code.strip() for code in opts.rules.split(",") if code.strip()]
+        if opts.rules
+        else None
+    )
+    baseline_path = Path(opts.baseline)
+    baseline = None if opts.no_baseline else load_baseline(baseline_path)
+
+    if opts.write_baseline:
+        report = analyze_paths(opts.paths, rules=rules, baseline=None)
+        write_baseline(baseline_path, report.findings)
+        print(
+            f"wsrfcheck: wrote {len(report.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return 0
+
+    report = analyze_paths(opts.paths, rules=rules, baseline=baseline)
+    if opts.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

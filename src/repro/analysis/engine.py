@@ -1,0 +1,279 @@
+"""The wsrfcheck rule engine: file walk, suppressions, baseline, report.
+
+A :class:`Rule` is a callable over one parsed module plus the global
+:class:`~repro.analysis.model.ContractModel`; it yields
+:class:`Finding` objects.  The engine handles everything around that:
+collecting files, parsing, building the model, line-level suppressions
+(``# wsrfcheck: ignore[WSRF001]``), the checked-in baseline of accepted
+findings, and stable text/JSON rendering.
+
+Fingerprints deliberately exclude line numbers: a baselined finding
+stays baselined when unrelated edits shift the file, and resurfaces the
+moment its rule, file or message changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.model import ContractModel, build_model
+
+SUPPRESS_RE = re.compile(r"#\s*wsrfcheck:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific site."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    symbol: str = ""  # enclosing class/function, stabilizes the fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        basis = "\x1f".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
+    def to_json(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.rule}{sym}: {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule sees for one file."""
+
+    path: str  # repo-relative
+    module: str  # dotted module name (best effort)
+    tree: ast.Module
+    source_lines: List[str]
+    model: ContractModel
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        if not 1 <= line <= len(self.source_lines):
+            return False
+        match = SUPPRESS_RE.search(self.source_lines[line - 1])
+        if match is None:
+            return False
+        rules = match.group(1)
+        if rules is None:
+            return True  # bare "# wsrfcheck: ignore" silences every rule
+        return rule in {r.strip() for r in rules.split(",")}
+
+
+RuleFn = Callable[[ModuleContext], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    code: str
+    title: str
+    fn: RuleFn
+    description: str = ""
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(
+    code: str, title: str, description: str = ""
+) -> Callable[[RuleFn], RuleFn]:
+    """Decorator adding a rule to the catalog (see docs/static_analysis.md)."""
+
+    def wrap(fn: RuleFn) -> RuleFn:
+        _RULES[code] = Rule(code=code, title=title, fn=fn, description=description)
+        return fn
+
+    return wrap
+
+
+def iter_rules() -> List[Rule]:
+    _ensure_rules_loaded()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def rule_catalog() -> Dict[str, Rule]:
+    _ensure_rules_loaded()
+    return dict(_RULES)
+
+
+def _ensure_rules_loaded() -> None:
+    # Imported lazily so engine <-> rules avoid a circular import.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+
+# -- file collection ---------------------------------------------------------------
+
+
+def collect_files(paths: Iterable[str]) -> List[Path]:
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    # de-duplicate, keep deterministic order
+    seen: Set[Path] = set()
+    unique = []
+    for path in out:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _relative(path: Path, root: Optional[Path]) -> str:
+    try:
+        rel = path.resolve().relative_to((root or Path.cwd()).resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _module_name(rel_path: str) -> str:
+    parts = Path(rel_path).with_suffix("").parts
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+# -- baseline ----------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Optional[Path]) -> Set[str]:
+    if path is None or not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    data = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted wsrfcheck findings. Entries are keyed by fingerprint "
+            "(rule+path+symbol+message, line-independent); remove entries as "
+            "the underlying issues are fixed."
+        ),
+        "findings": [f.to_json() for f in sorted(
+            findings, key=lambda f: (f.rule, f.path, f.line)
+        )],
+    }
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+# -- the run -----------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisReport:
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_analyzed: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.parse_errors else 0
+
+    def to_json(self) -> Dict:
+        return {
+            "files_analyzed": self.files_analyzed,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "parse_errors": self.parse_errors,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"parse error: {err}" for err in self.parse_errors)
+        by_rule: Dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        summary = ", ".join(f"{rule}={n}" for rule, n in sorted(by_rule.items()))
+        lines.append(
+            f"wsrfcheck: {len(self.findings)} finding(s) in "
+            f"{self.files_analyzed} file(s)"
+            + (f" ({summary})" if summary else "")
+            + (f"; {self.baselined} baselined" if self.baselined else "")
+            + (f"; {self.suppressed} suppressed" if self.suppressed else "")
+        )
+        return "\n".join(lines)
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    rules: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+    root: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run the catalog over *paths*; returns the filtered report.
+
+    *rules* restricts to the given codes (default: all).  *baseline* is
+    a set of accepted fingerprints; matching findings are counted but
+    not reported.
+    """
+    report = AnalysisReport()
+    files = collect_files(paths)
+    parsed: List[Tuple[str, str, ast.Module, List[str]]] = []
+    for path in files:
+        rel = _relative(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append(f"{rel}: {exc}")
+            continue
+        parsed.append((_module_name(rel), rel, tree, source.splitlines()))
+    report.files_analyzed = len(parsed)
+
+    model = build_model([(m, p, t) for m, p, t, _ in parsed])
+    wanted = set(rules) if rules is not None else None
+    catalog = [
+        rule for rule in iter_rules() if wanted is None or rule.code in wanted
+    ]
+
+    accepted = baseline or set()
+    findings: List[Finding] = []
+    for module, rel, tree, source_lines in parsed:
+        ctx = ModuleContext(
+            path=rel, module=module, tree=tree,
+            source_lines=source_lines, model=model,
+        )
+        for rule in catalog:
+            for finding in rule.fn(ctx):
+                if ctx.suppressed(finding.line, finding.rule):
+                    report.suppressed += 1
+                elif finding.fingerprint in accepted:
+                    report.baselined += 1
+                else:
+                    findings.append(finding)
+    report.findings = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    return report

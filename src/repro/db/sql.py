@@ -15,7 +15,7 @@ sidesteps literal-quoting entirely and keeps the parser honest.
 from __future__ import annotations
 
 import re
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence
 
 from repro.db.engine import Column, Database, DbError
 

@@ -10,7 +10,7 @@ against :class:`repro.db.resource_store.BlobResourceStore`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.db.resource_store import NoSuchResource, State, _STATE_TAG
 from repro.soap import from_typed_element, to_typed_element

@@ -19,8 +19,8 @@ from repro.gridapp.filesystem_service import (
     content_to_wire,
     fetch_remote_file,
 )
-from repro.gridapp.jobset import FileRef, JobSetSpec, JobSpec
-from repro.net import Network, Uri
+from repro.gridapp.jobset import JobSetSpec
+from repro.net import Network
 from repro.osim.filesystem import FileContent, FsError, SimFileSystem
 from repro.soap import SoapEnvelope, SoapFault, from_typed_element, to_typed_element
 from repro.wsa import AddressingHeaders, EndpointReference
@@ -73,7 +73,7 @@ class ClientFileServer:
         envelope = SoapEnvelope.deserialize(payload)
         body = envelope.body
         if body.tag != QName(UVA, "Read"):
-            fault = SoapFault("soap:Client", f"file server only supports Read")
+            fault = SoapFault("soap:Client", "file server only supports Read")
             return self._respond(envelope, fault.to_element())
         filename_el = body.find(QName(UVA, "filename"))
         if filename_el is None:

@@ -12,7 +12,7 @@ one-way "upload complete" notification back so the job may start.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.gridapp import tracing
 from repro.net import Uri

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.net import Network
-from repro.osim.machine import HTTP_PORT, Machine
+from repro.osim.machine import Machine
 from repro.osim.params import MachineParams
 from repro.osim.procspawn import ProcSpawnService, SpawnError
 

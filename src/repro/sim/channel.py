@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque
 
-from repro.sim.core import Environment, Event, SimulationError
+from repro.sim.core import Environment, Event
 
 
 class ChannelClosed(Exception):

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.net import Host, Network
+from repro.net import Network
 from repro.soap import SoapEnvelope
 from repro.wsa import EndpointReference
 from repro.wsn.base_notification import NOTIFY, parse_notify_body

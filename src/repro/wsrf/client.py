@@ -235,7 +235,7 @@ class WsrfClient:
         category: str = "subscribe",
     ):
         """Coroutine: wsnt:Subscribe; returns the subscription EPR."""
-        from repro.wsn.base_notification import SUBSCRIBE, build_subscribe_body
+        from repro.wsn.base_notification import build_subscribe_body
 
         body = build_subscribe_body(consumer_epr, topic_expression, dialect)
         response = yield from self.invoke(producer_epr, body, category=category)

@@ -20,12 +20,12 @@ onto the generic client plumbing.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Dict, Optional
 
 from repro.wsa import EndpointReference
 from repro.wsrf.client import WsrfClient
 from repro.wsrf.wsdl import wsdl_operations, wsdl_resource_properties
-from repro.xmlx import NS, Element, QName
+from repro.xmlx import NS, Element
 
 #: spec operations the proxy maps onto dedicated client methods
 _SPEC_BINDINGS = {

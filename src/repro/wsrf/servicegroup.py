@@ -18,8 +18,6 @@ pipeline:
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.wsa import EndpointReference
 from repro.wsrf.attributes import (
     Resource,

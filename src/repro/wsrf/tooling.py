@@ -33,7 +33,6 @@ from repro.wsrf.attributes import (
     collect_web_methods,
 )
 from repro.wsrf.basefaults import (
-    BaseFault,
     InvalidResourcePropertyQNameFault,
     ResourceUnknownFault,
     UnableToModifyResourcePropertyFault,

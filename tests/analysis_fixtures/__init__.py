@@ -1,0 +1,8 @@
+"""Seeded-violation fixtures for the wsrfcheck test suite.
+
+Each module deliberately violates one rule; ``tests/test_analysis.py``
+runs the analyzer over this directory and asserts every rule fires at
+the expected sites (golden report: ``tests/analysis_golden.json``).
+These files are analyzed as text (pure AST) and never imported at test
+time, but they are kept syntactically valid Python.
+"""

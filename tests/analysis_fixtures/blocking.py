@@ -1,0 +1,27 @@
+"""SIM001 fixtures: real blocking calls inside the simulated world."""
+
+import socket
+import time
+
+
+def real_sleep(env, delay):
+    # SIM001: stalls the real thread, not the simulation clock.
+    time.sleep(delay)
+    yield env.timeout(0)
+
+
+def real_socket(host):
+    # SIM001: real network I/O from simulation code.
+    return socket.create_connection((host, 80))
+
+
+def real_file_read(path):
+    # SIM001: real filesystem I/O; the simulated fs is SimFileSystem.
+    with open(path) as handle:
+        return handle.read()
+
+
+def simulated_equivalents(env, fs, path):
+    # OK: simulated time and filesystem.
+    yield env.timeout(1.0)
+    return fs.read_file(path)

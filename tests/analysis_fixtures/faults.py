@@ -1,0 +1,28 @@
+"""WSRF003 fixtures: services raising untyped (non-BaseFault) exceptions."""
+
+from repro.wsrf.attributes import ServiceSkeleton, WebMethod
+from repro.wsrf.basefaults import BaseFault
+from repro.xmlx import NS
+
+
+class QuotaFault(BaseFault):
+    pass
+
+
+class FaultyService(ServiceSkeleton):
+    SERVICE_NS = NS.UVACG
+
+    @WebMethod
+    def Reserve(self, amount: int) -> int:
+        if amount > 10:
+            # OK: typed WS-BaseFault, reconstructible client-side.
+            raise QuotaFault(description="over quota")
+        if amount < 0:
+            # WSRF003: plain ValueError becomes an untyped soap:Server.
+            raise ValueError("negative amount")
+        return amount
+
+    @WebMethod
+    def Cancel(self):
+        # WSRF003: RuntimeError is not a BaseFault either.
+        raise RuntimeError("cannot cancel")

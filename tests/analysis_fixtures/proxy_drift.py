@@ -1,0 +1,49 @@
+"""WSRF001 fixtures: call sites that drifted from the @WebMethod contract."""
+
+from repro.wsrf.attributes import Resource, ServiceSkeleton, WebMethod
+from repro.xmlx import NS
+
+UVA = NS.UVACG
+
+
+class DriftService(ServiceSkeleton):
+    SERVICE_NS = NS.UVACG
+
+    counter = Resource(default=0)
+
+    @WebMethod
+    def Increment(self, amount: int) -> int:
+        self.counter = self.counter + amount
+        return self.counter
+
+    @WebMethod(one_way=True)
+    def Report(self, text: str):
+        pass
+
+
+def good_call(client, epr):
+    yield from client.call(epr, UVA, "Increment", {"amount": 2})
+
+
+def calls_unknown_method(client, epr):
+    # WSRF001: no service declares "Incremnt" (typo'd method name).
+    yield from client.call(epr, UVA, "Incremnt", {"amount": 2})
+
+
+def sends_unknown_argument(client, epr):
+    # WSRF001: "amt" is not a parameter of Increment.
+    yield from client.call(epr, UVA, "Increment", {"amt": 2})
+
+
+def omits_required_argument(client, epr):
+    # WSRF001: Increment requires "amount".
+    yield from client.call(epr, UVA, "Increment", {})
+
+
+def one_way_mismatch(client, epr):
+    # WSRF001: Increment is request/response, but invoked one-way.
+    yield from client.call(epr, UVA, "Increment", {"amount": 1}, one_way=True)
+
+
+def good_one_way(client, epr):
+    yield from client.call(epr, UVA, "Report", {"text": "ok"}, one_way=True)

@@ -1,0 +1,47 @@
+"""SIM002 fixtures: sim processes mutating shared WS-Resource state."""
+
+
+def start_unsafe_sweeper(env, wrapper):
+    def sweeper(env):
+        while True:
+            yield env.timeout(1.0)
+            for rid in wrapper.resource_ids():
+                state = wrapper.store.load(wrapper.service_name, rid)
+                state["swept"] = True
+                # SIM002: load-modify-save without the resource lock.
+                wrapper.store.save(wrapper.service_name, rid, state)
+
+    return env.process(sweeper(env))
+
+
+def start_unsafe_reaper(env, wrapper, rid):
+    def reaper(env):
+        yield env.timeout(5.0)
+        # SIM002: destroy without holding the resource lock.
+        wrapper.destroy_resource(rid)
+
+    return env.process(reaper(env))
+
+
+def start_safe_sweeper(env, wrapper):
+    def sweeper(env):
+        while True:
+            yield env.timeout(1.0)
+            for rid in wrapper.resource_ids():
+                lock = wrapper.resource_lock(rid)
+                yield lock.acquire()
+                try:
+                    state = wrapper.store.load(wrapper.service_name, rid)
+                    state["swept"] = True
+                    # OK: the lock above covers the load-modify-save.
+                    wrapper.store.save(wrapper.service_name, rid, state)
+                finally:
+                    lock.release()
+
+    return env.process(sweeper(env))
+
+
+def plain_helper_not_a_process(wrapper, rid, state):
+    # OK: not handed to env.process(); invocation-path code runs under
+    # the dispatcher's own resource lock.
+    wrapper.store.save(wrapper.service_name, rid, state)

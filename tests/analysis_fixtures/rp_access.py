@@ -1,0 +1,53 @@
+"""WSRF002 fixtures: resource property access outside the declared contract."""
+
+from repro.wsrf.attributes import (
+    Resource,
+    ResourceProperty,
+    ServiceSkeleton,
+    WebMethod,
+)
+from repro.xmlx import NS, QName
+
+UVA = NS.UVACG
+
+_STATUS_RP = QName(UVA, "Status")
+_BOGUS_RP = QName(UVA, "Statas")
+
+
+class PropertyService(ServiceSkeleton):
+    SERVICE_NS = NS.UVACG
+
+    status = Resource(default="New")
+
+    @ResourceProperty
+    @property
+    def Status(self):
+        return self.status
+
+    @WebMethod
+    def Touch(self) -> str:
+        self.status = "Touched"
+        return self.status
+
+    @WebMethod
+    def Leak(self) -> int:
+        # WSRF002: "progress" is not a Resource field; this write is
+        # silently dropped when the wrapper persists the resource.
+        self.progress = 42
+        return self.progress
+
+
+def good_read(client, epr):
+    yield from client.get_resource_property(epr, _STATUS_RP)
+
+
+def reads_undeclared_property(client, epr):
+    # WSRF002: "Statas" (typo) is not declared by any UVACG service here.
+    yield from client.get_resource_property(epr, _BOGUS_RP)
+
+
+def reads_undeclared_inline(client, epr):
+    # WSRF002: same, with an inline QName in a multi-property read.
+    yield from client.get_multiple_resource_properties(
+        epr, [_STATUS_RP, QName(UVA, "Progress")]
+    )

@@ -1,0 +1,289 @@
+"""Tests for wsrfcheck (``repro.analysis``).
+
+Three layers: unit tests of the contract model, per-rule tests over the
+seeded-violation fixtures in ``tests/analysis_fixtures/``, and the
+meta-tests gating CI — the shipped baseline must stay empty for the
+tier-1-critical rules and the real source tree must analyze clean.
+"""
+
+import ast
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths, build_model, load_baseline, rule_catalog
+from repro.analysis.engine import Finding
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
+GOLDEN = REPO_ROOT / "tests" / "analysis_golden.json"
+BASELINE = REPO_ROOT / "wsrfcheck-baseline.json"
+
+#: rules whose baseline must be empty for tier-1 correctness
+CRITICAL_RULES = ("WSRF001", "WSRF002", "WSRF003", "DET001")
+
+
+def analyze_fixtures(rules=None):
+    return analyze_paths([str(FIXTURES)], rules=rules, root=REPO_ROOT)
+
+
+# -- contract model -----------------------------------------------------------------
+
+
+class TestContractModel:
+    def _model(self, source, module="fixture", path="fixture.py"):
+        return build_model([(module, path, ast.parse(source))])
+
+    def test_web_method_signature_extraction(self):
+        model = self._model(
+            """
+from repro.xmlx import NS
+
+class S(ServiceSkeleton):
+    SERVICE_NS = NS.UVACG
+
+    @WebMethod(one_way=True)
+    def Go(self, a, b=1, *, c, d=2):
+        pass
+"""
+        )
+        method = model.web_method("NS.UVACG", "Go")
+        assert method is not None
+        assert method.one_way is True
+        assert set(method.params) == {"a", "b", "c", "d"}
+        assert method.required == {"a", "c"}
+
+    def test_service_ns_inherited_through_bases(self):
+        model = self._model(
+            """
+from repro.xmlx import NS
+
+class Base(ServiceSkeleton):
+    SERVICE_NS = NS.WSRF_SG
+
+    @WebMethod
+    def Op(self):
+        pass
+
+class Child(Base):
+    pass
+"""
+        )
+        assert model.effective_ns("Child") == "NS.WSRF_SG"
+        assert model.web_method("NS.WSRF_SG", "Op") is not None
+
+    def test_default_namespace_is_uvacg(self):
+        model = self._model(
+            """
+class S(ServiceSkeleton):
+    @WebMethod
+    def Op(self):
+        pass
+"""
+        )
+        assert model.effective_ns("S") == "NS.UVACG"
+
+    def test_fault_closure_is_transitive(self):
+        model = self._model(
+            """
+class A(BaseFault):
+    pass
+
+class B(A):
+    pass
+
+class C(Exception):
+    pass
+"""
+        )
+        assert "A" in model.fault_classes
+        assert "B" in model.fault_classes
+        assert "C" not in model.fault_classes
+
+    def test_module_alias_resolution(self):
+        model = self._model(
+            """
+from repro.xmlx import NS
+
+UVA = NS.UVACG
+
+class S(ServiceSkeleton):
+    SERVICE_NS = UVA
+"""
+        )
+        assert model.effective_ns("S") == "NS.UVACG"
+
+    def test_real_tree_model_covers_known_services(self):
+        report_files = [str(REPO_ROOT / "src" / "repro")]
+        from repro.analysis.engine import collect_files, _module_name, _relative
+
+        files = collect_files(report_files)
+        modules = []
+        for f in files:
+            rel = _relative(f, REPO_ROOT)
+            modules.append((_module_name(rel), rel, ast.parse(f.read_text())))
+        model = build_model(modules)
+        assert "ExecutionService" in model.service_classes
+        assert "Gt4ExecutionService" in model.service_classes
+        assert "AuthenticationFault" in model.fault_classes
+        assert model.web_method("NS.UVACG", "Run") is not None
+        report = model.web_method("NS.WSRF_SG", "ReportUtilization")
+        assert report is not None and report.one_way is True
+
+
+# -- per-rule fixture tests ---------------------------------------------------------
+
+
+def findings_for(rule):
+    report = analyze_fixtures(rules=[rule])
+    return report.findings
+
+
+class TestRulesFire:
+    def test_wsrf001_proxy_drift(self):
+        lines = {(f.path.rsplit("/", 1)[-1], f.line) for f in findings_for("WSRF001")}
+        assert ("proxy_drift.py", 30) in lines  # unknown method
+        assert ("proxy_drift.py", 35) in lines  # unknown argument
+        assert ("proxy_drift.py", 40) in lines  # missing required argument
+        assert ("proxy_drift.py", 45) in lines  # one-way mismatch
+
+    def test_wsrf001_good_sites_are_clean(self):
+        assert not any(
+            f.symbol in ("good_call", "good_one_way")
+            for f in findings_for("WSRF001")
+        )
+
+    def test_wsrf002_rp_access(self):
+        symbols = {f.symbol for f in findings_for("WSRF002")}
+        assert "PropertyService.Leak" in symbols  # undeclared self.x write
+        assert "reads_undeclared_property" in symbols
+        assert "reads_undeclared_inline" in symbols
+        assert "good_read" not in symbols
+        assert "PropertyService.Touch" not in symbols
+
+    def test_wsrf003_untyped_faults(self):
+        messages = [f.message for f in findings_for("WSRF003")]
+        assert any("ValueError" in m for m in messages)
+        assert any("RuntimeError" in m for m in messages)
+        # the typed QuotaFault raise is clean
+        assert not any("QuotaFault" in m for m in messages)
+
+    def test_det001_nondeterminism(self):
+        symbols = {f.symbol for f in findings_for("DET001")}
+        assert symbols >= {
+            "wall_clock_timestamp",
+            "wall_clock_datetime",
+            "global_rng_choice",
+            "numpy_global_draw",
+            "unseeded_generator",
+            "schedule_from_set",
+        }
+        assert "seeded_generator" not in symbols
+        assert "schedule_sorted" not in symbols
+
+    def test_det001_suppression_pragma(self):
+        report = analyze_fixtures(rules=["DET001"])
+        assert report.suppressed == 1
+        assert not any(
+            f.symbol == "suppressed_wall_clock" for f in report.findings
+        )
+
+    def test_sim001_blocking_calls(self):
+        symbols = {f.symbol for f in findings_for("SIM001")}
+        assert symbols == {"real_sleep", "real_socket", "real_file_read"}
+
+    def test_sim002_unsynchronized_mutation(self):
+        symbols = {f.symbol for f in findings_for("SIM002")}
+        assert "start_unsafe_sweeper.sweeper" in symbols
+        assert "start_unsafe_reaper.reaper" in symbols
+        assert not any(s.startswith("start_safe_sweeper") for s in symbols)
+        assert "plain_helper_not_a_process" not in symbols
+
+
+# -- engine behavior ----------------------------------------------------------------
+
+
+class TestEngine:
+    def test_golden_report(self):
+        report = analyze_fixtures()
+        golden = json.loads(GOLDEN.read_text())
+        assert report.to_json() == golden, (
+            "fixture findings drifted from tests/analysis_golden.json; "
+            "if the change is intended, regenerate with: PYTHONPATH=src "
+            "python -m repro.analysis tests/analysis_fixtures --no-baseline "
+            "--format json > tests/analysis_golden.json"
+        )
+
+    def test_fingerprint_is_line_independent(self):
+        a = Finding(rule="R", path="p.py", line=10, message="m", symbol="s")
+        b = Finding(rule="R", path="p.py", line=99, message="m", symbol="s")
+        c = Finding(rule="R", path="p.py", line=10, message="other", symbol="s")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+
+    def test_baseline_filters_findings(self, tmp_path):
+        from repro.analysis.engine import write_baseline
+
+        report = analyze_fixtures()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+        rerun = analyze_paths(
+            [str(FIXTURES)],
+            baseline=load_baseline(baseline_path),
+            root=REPO_ROOT,
+        )
+        assert rerun.findings == []
+        assert rerun.baselined == len(report.findings)
+        assert rerun.exit_code == 0
+
+    def test_parse_error_reported_not_fatal(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = analyze_paths([str(bad)], root=tmp_path)
+        assert len(report.parse_errors) == 1
+        assert report.exit_code == 1
+
+    def test_cli_json_and_exit_codes(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis",
+             str(FIXTURES), "--no-baseline", "--format", "json"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["files_analyzed"] == 7
+        clean = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src/repro"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+
+
+# -- CI-gating meta-tests -----------------------------------------------------------
+
+
+class TestShippedTreeIsClean:
+    def test_rule_catalog_is_complete(self):
+        assert set(rule_catalog()) == {
+            "WSRF001", "WSRF002", "WSRF003", "DET001", "SIM001", "SIM002",
+        }
+
+    def test_shipped_baseline_has_no_critical_entries(self):
+        data = json.loads(BASELINE.read_text())
+        critical = [
+            e for e in data["findings"] if e["rule"] in CRITICAL_RULES
+        ]
+        assert critical == [], (
+            "tier-1-critical rules must never be baselined; fix the "
+            f"underlying issues instead: {critical}"
+        )
+
+    def test_src_repro_analyzes_clean_without_baseline(self):
+        report = analyze_paths([str(REPO_ROOT / "src" / "repro")], root=REPO_ROOT)
+        assert report.parse_errors == []
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )

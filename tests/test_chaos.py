@@ -13,7 +13,6 @@ The fault-tolerance layer's contract, stated as properties:
   message, nothing else).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -15,7 +15,6 @@ from repro.gridapp.execution_service import parse_job_event
 from repro.net import DeliveryError
 from repro.osim.programs import make_compute_program
 from repro.soap import SoapFault
-from repro.wsrf.basefaults import BaseFault
 from repro.xmlx import NS, QName
 
 UVA = NS.UVACG

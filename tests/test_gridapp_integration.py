@@ -5,7 +5,6 @@ import pytest
 from repro.gridapp import FileRef, JobSpec, Testbed
 from repro.gridapp.execution_service import parse_job_event
 from repro.osim.programs import make_compute_program
-from repro.wsrf.basefaults import ResourceUnknownFault
 from repro.xmlx import NS, QName
 
 UVA = NS.UVACG

@@ -15,7 +15,7 @@ from repro.gridapp.execution_service import parse_job_event
 from repro.osim.programs import make_compute_program
 from repro.wsrf.basefaults import ResourceUnknownFault
 from repro.wsrf.lifetime import TERMINATION_TIME_RP
-from repro.xmlx import NS, QName
+from repro.xmlx import NS
 
 UVA = NS.UVACG
 

@@ -11,7 +11,6 @@ from repro.osim import (
     FsError,
     Machine,
     MachineParams,
-    Program,
     ProgramRegistry,
     SimFileSystem,
     SpawnError,

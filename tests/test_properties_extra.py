@@ -1,6 +1,6 @@
 """Extra property-based tests on cross-cutting invariants."""
 
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.wsn.topics import (

@@ -8,11 +8,9 @@ from repro.sim import (
     Channel,
     ChannelClosed,
     Environment,
-    Event,
     Interrupt,
     ProcessKilled,
     SimulationError,
-    Timeout,
 )
 
 

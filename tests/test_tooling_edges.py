@@ -6,7 +6,6 @@ from repro.db import execute_sql
 from repro.net import Network
 from repro.osim import Machine
 from repro.sim import Environment
-from repro.soap import SoapFault
 from repro.wsrf import (
     GetResourcePropertyPortType,
     Resource,

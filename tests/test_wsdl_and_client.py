@@ -6,7 +6,6 @@ import pytest
 from repro.net import Network
 from repro.osim import Machine
 from repro.sim import Environment
-from repro.soap import SoapFault
 from repro.wsa import EndpointReference
 from repro.wsrf import (
     GetResourcePropertyPortType,

@@ -19,11 +19,10 @@ from repro.wsn import (
     build_notify_body,
     parse_notify_body,
 )
-from repro.wsn.broker import NotificationBrokerService, deploy_broker
+from repro.wsn.broker import deploy_broker
 from repro.wsrf import (
     GetResourcePropertyPortType,
     ImmediateResourceTerminationPortType,
-    Resource,
     ServiceSkeleton,
     WebMethod,
     WSRFPortType,
