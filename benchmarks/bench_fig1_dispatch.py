@@ -133,6 +133,47 @@ def bench_fig1_wrapper_overhead(benchmark):
     assert lat["wsrf-rw"] < 3 * lat["plain"]
 
 
+def bench_fig1_observability_overhead(benchmark):
+    """Observability is free in simulated time: attaching repro.obs must
+    not change any measured latency (spans are recorded around the
+    existing timeouts, never adding their own)."""
+
+    def scenario():
+        out = {}
+        for observed in (False, True):
+            env, net, machine, client = _fabric()
+            if observed:
+                from repro.obs import Observability
+
+                Observability(env).attach(net)
+            wrapper = deploy(StatefulService, machine, "Stateful")
+            epr = run_coroutine(
+                env, client.call(wrapper.service_epr(), UVA, "Create")
+            )
+
+            def call(epr=epr, client=client):
+                yield from client.call(epr, UVA, "Increment")
+
+            out[observed] = _mean_simulated_latency(env, call)
+        return out
+
+    latencies = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "FIG-1: dispatch latency with observability off/on (simulated ms)",
+        ["observability", "latency_ms", "added_ms"],
+        [
+            ["disabled", latencies[False] * 1000, 0.0],
+            ["enabled", latencies[True] * 1000,
+             (latencies[True] - latencies[False]) * 1000],
+        ],
+    )
+    benchmark.extra_info["obs_added_ms"] = (
+        latencies[True] - latencies[False]
+    ) * 1000
+    # The acceptance bar is exact: 0% added simulated latency.
+    assert latencies[True] == latencies[False]
+
+
 def bench_fig1_overhead_constant_in_resource_count(benchmark):
     """EPR resolution is an indexed point lookup: latency must not grow
     with the number of WS-Resources in the database."""

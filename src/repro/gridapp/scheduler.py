@@ -606,6 +606,9 @@ class SchedulerService(ServiceSkeleton):
     def _announce_recovery(self, job_name: str, from_machine: str, reason: str):
         """Broadcast a JobRecovery event carrying a typed WS-BaseFault."""
         wrapper = self.wsrf.wrapper
+        # Recovery count lives on the wrapper (not the skeleton instance,
+        # which is rebuilt per invocation) so obs collection can read it.
+        wrapper.recoveries_announced = getattr(wrapper, "recoveries_announced", 0) + 1
         broker_epr = getattr(wrapper, "broker_epr", None)
         if broker_epr is None:
             return
@@ -622,7 +625,10 @@ class SchedulerService(ServiceSkeleton):
         body = build_notify_body(
             f"{self.topic}/recovery", payload, wrapper.service_epr()
         )
-        fire_and_forget(self.env, wrapper.client, broker_epr, body)
+        fire_and_forget(
+            self.env, wrapper.client, broker_epr, body,
+            parent_span=getattr(self.wsrf, "span", None),
+        )
 
     def _resolve(self, ref: FileRef, job_name: str, name_map) -> Dict:
         """Turn a FileRef into the paper's {EPR, filename, jobname} tuple."""

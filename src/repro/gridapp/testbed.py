@@ -55,6 +55,7 @@ class Testbed:
         retry_policy=None,
         fault_tolerance=None,
         broker_redelivery=None,
+        observability: bool = False,
     ) -> None:
         """Assemble the grid; optional knobs enable fault tolerance.
 
@@ -75,6 +76,13 @@ class Testbed:
         self.network = Network(self.env, params=network_params)
         self.network.trace = EventTrace(self.env)
         self.trace = self.network.trace
+        # Attached before any service deploys so every wrapper
+        # self-registers with the collector.
+        self.obs = None
+        if observability:
+            from repro.obs import Observability
+
+            self.obs = Observability(self.env).attach(self.network)
         self.rng = np.random.default_rng(seed)
         self.ca = CertificateAuthority()
         self.programs = ProgramRegistry()

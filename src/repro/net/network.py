@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.net.host import Host
 from repro.net.params import NetworkParams
@@ -53,16 +53,14 @@ class NetworkStats:
         self.faults[kind] += 1
 
     def reset(self) -> None:
-        self.messages = 0
-        self.bytes = 0
-        self.by_scheme.clear()
-        self.by_category.clear()
-        self.bytes_by_category.clear()
-        self.drops = 0
-        self.drops_by_link.clear()
-        self.faults.clear()
-        self.retries = 0
-        self.redeliveries = 0
+        # Derived from the dataclass fields so counters added later can
+        # never silently survive a reset and corrupt benchmark deltas.
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value.clear()
+            else:
+                setattr(self, f.name, 0)
 
 
 @dataclass(frozen=True)
@@ -73,6 +71,9 @@ class DeliveryContext:
     scheme: str
     one_way: bool
     path: str = "/"
+    #: WS-Addressing MessageID of the carried envelope ("" when unknown);
+    #: lets server-side spans correlate to the in-flight network span
+    message_id: str = ""
 
 
 class Network:
@@ -100,6 +101,9 @@ class Network:
         self.latency_overrides: Dict[Tuple[str, str], float] = {}
         #: opt-in deterministic link faults (see repro.net.faults)
         self.fault_injector = None
+        #: attached repro.obs.Observability, or None = observation off
+        #: (every instrumentation site guards on this being non-None)
+        self.obs: Optional[Any] = None
 
     def inject_faults(
         self,
@@ -225,57 +229,102 @@ class Network:
         yield self.env.timeout(self.latency_between(src.name, dst_name))
         self.stats.record(scheme, size + self._overhead(scheme), category)
 
-    def request(self, src_host: str, url: str, payload: str, category: str = "rpc"):
+    def request(
+        self,
+        src_host: str,
+        url: str,
+        payload: str,
+        category: str = "rpc",
+        message_id: Optional[str] = None,
+    ):
         """Request/response exchange; returns the response text.
 
         A coroutine (``yield from`` it, or wrap with ``env.process``).
         Raises :class:`DeliveryError` if the destination is unreachable or
         nothing listens on the port.  Server-side exceptions propagate to
         the caller (the SOAP layer above converts them to faults first).
+        *message_id* (the envelope's WS-Addressing MessageID, when the
+        caller has one) correlates the network span with the sender's.
         """
         uri = Uri.parse(url)
         if not uri.is_network:
             raise DeliveryError(f"cannot route non-network URI {url!r}")
         src = self.host(src_host)
-        dest = self._check_reachable(src_host, uri.host)
-        port = uri.port or 80
-
-        connect = self._connect_cost(uri.scheme, src_host, uri.host, port)
-        if connect:
-            yield self.env.timeout(connect)
-
-        size = len(payload.encode("utf-8"))
-        # Sender-side XML serialization cost.
-        yield self.env.timeout(self.params.xml_cost(size))
-        request_dropped = self._message_dropped(src_host, uri.host)
-        yield from self._transmit(src, uri.host, uri.scheme, size, category)
-        if request_dropped:
-            raise DeliveryError(
-                f"request dropped on link {src_host!r}->{uri.host!r}"
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "net.request",
+                message_id=message_id,
+                attrs={
+                    "scheme": uri.scheme,
+                    "category": category,
+                    "source": src_host,
+                    "target": uri.host,
+                },
             )
+        try:
+            dest = self._check_reachable(src_host, uri.host)
+            port = uri.port or 80
 
-        server = dest.server_on(port)
-        if server is None:
-            self.stats.record_fault("refused")
-            raise DeliveryError(f"connection refused: {uri.host}:{port}")
-        # Receiver-side parse cost.
-        yield self.env.timeout(self.params.xml_cost(size))
-        ctx = DeliveryContext(source_host=src_host, scheme=uri.scheme, one_way=False, path=uri.path)
-        response = yield self.env.process(server.handle(payload, ctx))
-        if response is None:
-            response = ""
-        resp_size = len(response.encode("utf-8"))
-        yield self.env.timeout(self.params.xml_cost(resp_size))
-        # NOTE: the server has already executed by now — losing the
-        # response leg makes a retried call at-least-once.
-        response_dropped = self._message_dropped(uri.host, src_host)
-        yield from self._transmit(dest, src_host, uri.scheme, resp_size, category)
-        if response_dropped:
-            raise DeliveryError(
-                f"response dropped on link {uri.host!r}->{src_host!r}"
+            connect = self._connect_cost(uri.scheme, src_host, uri.host, port)
+            if connect:
+                yield self.env.timeout(connect)
+
+            size = len(payload.encode("utf-8"))
+            # Sender-side XML serialization cost.
+            yield self.env.timeout(self.params.xml_cost(size))
+            request_dropped = self._message_dropped(src_host, uri.host)
+            leg = None
+            if obs is not None:
+                leg = obs.start_span(
+                    "net.transit", parent=span,
+                    attrs={"leg": "request", "scheme": uri.scheme},
+                )
+            yield from self._transmit(src, uri.host, uri.scheme, size, category)
+            if leg is not None:
+                obs.finish(leg)
+            if request_dropped:
+                raise DeliveryError(
+                    f"request dropped on link {src_host!r}->{uri.host!r}"
+                )
+
+            server = dest.server_on(port)
+            if server is None:
+                self.stats.record_fault("refused")
+                raise DeliveryError(f"connection refused: {uri.host}:{port}")
+            # Receiver-side parse cost.
+            yield self.env.timeout(self.params.xml_cost(size))
+            ctx = DeliveryContext(
+                source_host=src_host, scheme=uri.scheme, one_way=False,
+                path=uri.path, message_id=message_id or "",
             )
-        yield self.env.timeout(self.params.xml_cost(resp_size))
-        return response
+            response = yield self.env.process(server.handle(payload, ctx))
+            if response is None:
+                response = ""
+            resp_size = len(response.encode("utf-8"))
+            yield self.env.timeout(self.params.xml_cost(resp_size))
+            # NOTE: the server has already executed by now — losing the
+            # response leg makes a retried call at-least-once.
+            response_dropped = self._message_dropped(uri.host, src_host)
+            leg = None
+            if obs is not None:
+                leg = obs.start_span(
+                    "net.transit", parent=span,
+                    attrs={"leg": "response", "scheme": uri.scheme},
+                )
+            yield from self._transmit(dest, src_host, uri.scheme, resp_size, category)
+            if leg is not None:
+                obs.finish(leg)
+            if response_dropped:
+                raise DeliveryError(
+                    f"response dropped on link {uri.host!r}->{src_host!r}"
+                )
+            yield self.env.timeout(self.params.xml_cost(resp_size))
+            return response
+        finally:
+            if span is not None:
+                obs.spans.finish_subtree(span)
 
     def bulk_transfer(
         self,
@@ -302,7 +351,14 @@ class Network:
         # still applies via latency_between.
         yield from self._transmit(src, dst_host, scheme, size, category)
 
-    def send_one_way(self, src_host: str, url: str, payload: str, category: str = "oneway"):
+    def send_one_way(
+        self,
+        src_host: str,
+        url: str,
+        payload: str,
+        category: str = "oneway",
+        message_id: Optional[str] = None,
+    ):
         """Fire-and-forget message: returns once the payload is delivered.
 
         The paper's one-way message "closes the connection immediately
@@ -314,31 +370,66 @@ class Network:
         if not uri.is_network:
             raise DeliveryError(f"cannot route non-network URI {url!r}")
         src = self.host(src_host)
-        dest = self._check_reachable(src_host, uri.host)
-        port = uri.port or 80
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "net.oneway",
+                message_id=message_id,
+                attrs={
+                    "scheme": uri.scheme,
+                    "category": category,
+                    "source": src_host,
+                    "target": uri.host,
+                },
+            )
+            # This send runs as its own process and may outlive the
+            # dispatch that spawned it: detach immediately so an
+            # enclosing span's finish_subtree never closes it mid-flight
+            # (only this generator and _deliver own the close).
+            span.detached = True
+        handed_off = False
+        try:
+            dest = self._check_reachable(src_host, uri.host)
+            port = uri.port or 80
 
-        connect = self._connect_cost(uri.scheme, src_host, uri.host, port)
-        if connect:
-            yield self.env.timeout(connect)
-        size = len(payload.encode("utf-8"))
-        yield self.env.timeout(self.params.xml_cost(size))
-        dropped = self._message_dropped(src_host, uri.host)
-        yield from self._transmit(src, uri.host, uri.scheme, size, category)
-        if dropped:
-            # Fire-and-forget: the sender gets no error — the message
-            # is simply never delivered (§4.1 one-way loss semantics).
-            return None
-
-        server = dest.server_on(port)
-        if server is None:
-            self.stats.record_fault("refused")
-            raise DeliveryError(f"connection refused: {uri.host}:{port}")
-        ctx = DeliveryContext(source_host=src_host, scheme=uri.scheme, one_way=True, path=uri.path)
-
-        def _deliver():
-            # Parse cost is the receiver's problem; runs detached.
+            connect = self._connect_cost(uri.scheme, src_host, uri.host, port)
+            if connect:
+                yield self.env.timeout(connect)
+            size = len(payload.encode("utf-8"))
             yield self.env.timeout(self.params.xml_cost(size))
-            yield self.env.process(server.handle(payload, ctx))
+            dropped = self._message_dropped(src_host, uri.host)
+            yield from self._transmit(src, uri.host, uri.scheme, size, category)
+            if dropped:
+                # Fire-and-forget: the sender gets no error — the message
+                # is simply never delivered (§4.1 one-way loss semantics).
+                if span is not None:
+                    span.attrs["dropped"] = True
+                return None
 
-        self.env.process(_deliver())
-        return None
+            server = dest.server_on(port)
+            if server is None:
+                self.stats.record_fault("refused")
+                raise DeliveryError(f"connection refused: {uri.host}:{port}")
+            ctx = DeliveryContext(
+                source_host=src_host, scheme=uri.scheme, one_way=True,
+                path=uri.path, message_id=message_id or "",
+            )
+
+            def _deliver():
+                # Parse cost is the receiver's problem; runs detached.
+                # The span's ownership moved here: it stays open until the
+                # handler finishes, so server-side spans can parent to it.
+                try:
+                    yield self.env.timeout(self.params.xml_cost(size))
+                    yield self.env.process(server.handle(payload, ctx))
+                finally:
+                    if span is not None:
+                        obs.spans.finish_subtree(span)
+
+            self.env.process(_deliver())
+            handed_off = True
+            return None
+        finally:
+            if span is not None and not handed_off:
+                obs.spans.finish_subtree(span)

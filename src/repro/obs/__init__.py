@@ -1,0 +1,52 @@
+"""Unified observability: metrics registry + correlated message spans.
+
+Quick start::
+
+    from repro.obs import Observability
+
+    obs = Observability(env)
+    obs.attach(network)              # before deploying services
+    ...run the workload...
+    obs.collect()
+    obs.registry.value("net.messages", scheme="soap.tcp")
+    print(render_dashboard(obs.snapshot()))
+
+See ``docs/observability.md`` for the namespace catalog and span model.
+"""
+
+from repro.obs.core import Observability, obs_of
+from repro.obs.dashboard import (
+    load_snapshot,
+    render_dashboard,
+    render_metric_tables,
+    render_pipeline_breakdown,
+    render_slowest_spans,
+    render_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric_name,
+)
+from repro.obs.spans import METRIC_LABELS, Span, SpanRecorder
+
+__all__ = [
+    "METRIC_LABELS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanRecorder",
+    "format_metric_name",
+    "load_snapshot",
+    "obs_of",
+    "render_dashboard",
+    "render_metric_tables",
+    "render_pipeline_breakdown",
+    "render_slowest_spans",
+    "render_trace",
+]

@@ -1,0 +1,94 @@
+"""``python -m repro.obs`` — the observability dashboard CLI.
+
+Two modes:
+
+- default: run the seeded demo workload (a small FIG-3-style job set on
+  the testbed with observability attached) and render its dashboard;
+  ``--json PATH`` additionally writes the deterministic JSON export.
+- ``render FILE``: render a previously exported ``.json`` snapshot
+  (e.g. the ``BENCH_fig3.json`` CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.dashboard import load_snapshot, render_dashboard
+
+
+def run_demo(n_machines: int = 3, n_jobs: int = 4, seed: int = 11) -> Dict[str, Any]:
+    """One seeded job-set run with observability on; returns the snapshot."""
+    # Imported lazily: the obs package itself must not depend on gridapp.
+    from repro.gridapp import FileRef, JobSpec, Testbed
+    from repro.osim.programs import make_compute_program
+
+    testbed = Testbed(
+        n_machines=n_machines,
+        seed=seed,
+        machine_speeds=[1.0] * n_machines,
+        observability=True,
+    )
+    testbed.programs.register(
+        make_compute_program("work", 5.0, outputs={"out": b"x"})
+    )
+    client = testbed.make_client()
+    spec = client.new_job_set()
+    exe = client.add_program_binary(testbed.programs.get("work"))
+    for i in range(n_jobs):
+        spec.add(JobSpec(name=f"job{i}", executable=FileRef(exe, "job.exe")))
+    outcome, _, _ = testbed.run_job_set(client, spec)
+    if outcome != "completed":  # pragma: no cover - demo workload is fixed
+        raise SystemExit(f"demo job set did not complete: {outcome!r}")
+    testbed.settle()
+    assert testbed.obs is not None
+    return testbed.obs.snapshot()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render the observability dashboard for a seeded demo "
+        "run, or for an exported snapshot (`render FILE`).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="run the seeded demo workload (default)")
+    demo.add_argument("--machines", type=int, default=3)
+    demo.add_argument("--jobs", type=int, default=4)
+    demo.add_argument("--seed", type=int, default=11)
+    demo.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the deterministic JSON export to PATH",
+    )
+    demo.add_argument("--top", type=int, default=10, help="slowest-span rows")
+
+    render = sub.add_parser("render", help="render an exported snapshot file")
+    render.add_argument("file", help="path to a JSON export")
+    render.add_argument("--top", type=int, default=10, help="slowest-span rows")
+
+    raw = list(argv if argv is not None else sys.argv[1:])
+    if not raw or raw[0] not in ("demo", "render", "-h", "--help"):
+        raw = ["demo"] + raw  # demo is the default subcommand
+    args = parser.parse_args(raw)
+
+    if args.command == "render":
+        snapshot = load_snapshot(pathlib.Path(args.file).read_text(encoding="utf-8"))
+        print(render_dashboard(snapshot, top=args.top))
+        return 0
+
+    snapshot = run_demo(n_machines=args.machines, n_jobs=args.jobs, seed=args.seed)
+    print(render_dashboard(snapshot, top=args.top))
+    if args.json is not None:
+        import json
+
+        text = json.dumps(snapshot, sort_keys=True, indent=1)
+        pathlib.Path(args.json).write_text(text, encoding="utf-8")
+        print(f"\nwrote JSON export: {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke test
+    raise SystemExit(main())

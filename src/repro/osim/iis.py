@@ -77,25 +77,37 @@ class IisServer:
             raise LookupError(
                 f"no service at {ctx.path!r} on host {self.machine.name!r}"
             )
-        if getattr(app, "manages_worker_pool", False):
-            # WSRF wrappers acquire their per-resource lock BEFORE taking
-            # a worker thread, so requests queued on a busy WS-Resource
-            # do not starve the pool (the classic ASP.NET re-entrancy
-            # deadlock: handlers blocking on a lock while holding the
-            # thread the lock holder needs for its own nested calls).
-            response = yield self.env.process(
-                app.handle_soap(payload, ctx, pool=self._pool)
+        obs = getattr(getattr(self.machine, "network", None), "obs", None)
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "iis.handle",
+                message_id=getattr(ctx, "message_id", "") or None,
+                attrs={"host": self.machine.name, "path": ctx.path},
             )
-            self.requests_served += 1
-            return response
-        yield self._pool.acquire()
         try:
-            yield self.env.timeout(self.machine.params.iis_dispatch_s)
-            response = yield self.env.process(app.handle_soap(payload, ctx))
-            self.requests_served += 1
-            return response
+            if getattr(app, "manages_worker_pool", False):
+                # WSRF wrappers acquire their per-resource lock BEFORE taking
+                # a worker thread, so requests queued on a busy WS-Resource
+                # do not starve the pool (the classic ASP.NET re-entrancy
+                # deadlock: handlers blocking on a lock while holding the
+                # thread the lock holder needs for its own nested calls).
+                response = yield self.env.process(
+                    app.handle_soap(payload, ctx, pool=self._pool)
+                )
+                self.requests_served += 1
+                return response
+            yield self._pool.acquire()
+            try:
+                yield self.env.timeout(self.machine.params.iis_dispatch_s)
+                response = yield self.env.process(app.handle_soap(payload, ctx))
+                self.requests_served += 1
+                return response
+            finally:
+                self._pool.release()
         finally:
-            self._pool.release()
+            if span is not None:
+                obs.spans.finish_subtree(span)
 
     @property
     def queued_requests(self) -> int:

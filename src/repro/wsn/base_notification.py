@@ -95,17 +95,22 @@ def parse_notify_body(
     return out
 
 
-def fire_and_forget(env, client, target_epr, body, category="notify"):
+def fire_and_forget(env, client, target_epr, body, category="notify", parent_span=None):
     """Send a one-way message from a detached process, absorbing failures.
 
     One-way semantics (§4.1): the sender gets no delivery guarantee.  An
     unreachable consumer (host down, listener gone, partition) must not
-    crash the producer — the message is simply lost.
+    crash the producer — the message is simply lost.  The caller keeps
+    ownership of *body*: it is serialized inside this send only, so pass
+    a private copy when the same tree goes to several targets.
     """
 
     def send(env):
         try:
-            yield from client.invoke(target_epr, body, category=category, one_way=True)
+            yield from client.invoke(
+                target_epr, body, category=category, one_way=True,
+                parent_span=parent_span,
+            )
         except Exception:
             pass  # lost notification: fire-and-forget semantics
 
@@ -140,6 +145,12 @@ class NotificationProducer:
         #: wstop:Topic resource property, bounded to keep state sane)
         self.topics_seen: set = set()
         self._topics_cap = 1000
+        #: True once a published topic could not be recorded because the
+        #: cap was hit — the wstop:Topic RP under-advertises from then on
+        #: ("no silent caps": the truncation must be observable)
+        self.topics_truncated = False
+        #: count of publishes whose (new) topic path went unrecorded
+        self.topics_dropped = 0
         #: callbacks run after any subscription change (add/pause/destroy);
         #: used by brokers for demand-based publishing
         self.on_subscriptions_changed: list = []
@@ -212,7 +223,7 @@ class NotificationProducer:
                 return True
         return False
 
-    def publish(self, topic_path: str, payload: Element) -> int:
+    def publish(self, topic_path: str, payload: Element, parent_span=None) -> int:
         """Fan out one event; returns the number of Notifies dispatched.
 
         Delivery is asynchronous: each matching subscriber gets a one-way
@@ -220,8 +231,12 @@ class NotificationProducer:
         does not block on consumers, per §4.1's one-way semantics).
         """
         wrapper = self.wrapper
-        if len(self.topics_seen) < self._topics_cap:
-            self.topics_seen.add(topic_path)
+        if topic_path not in self.topics_seen:
+            if len(self.topics_seen) < self._topics_cap:
+                self.topics_seen.add(topic_path)
+            else:
+                self.topics_truncated = True
+                self.topics_dropped += 1
         body = build_notify_body(topic_path, payload, wrapper.service_epr())
         targets = [
             sub
@@ -230,15 +245,36 @@ class NotificationProducer:
         ]
         env = wrapper.env
         client = wrapper.client
+        obs = getattr(wrapper.machine.network, "obs", None)
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "wsn.publish",
+                parent=parent_span,
+                attrs={
+                    "service": wrapper.path,
+                    "topic": topic_path,
+                    "targets": len(targets),
+                },
+            )
         for sub in targets:
+            # Each dispatch gets its own deep copy: the sends (and any
+            # redelivery retries) run detached and serialize later, so a
+            # shared tree would alias one consumer's mutations into the
+            # other subscribers' still-pending notifications.
+            dispatch_body = body.copy()
             if self.redelivery_policy is None:
-                fire_and_forget(env, client, sub.consumer, body)
+                fire_and_forget(
+                    env, client, sub.consumer, dispatch_body, parent_span=span
+                )
             else:
-                env.process(self._redeliver(sub, body))
+                env.process(self._redeliver(sub, dispatch_body, parent_span=span))
         self.notifications_sent += len(targets)
+        if span is not None:
+            obs.finish(span)
         return len(targets)
 
-    def _redeliver(self, sub: Subscription, body: Element):
+    def _redeliver(self, sub: Subscription, body: Element, parent_span=None):
         """Detached coroutine: bounded redelivery, then drop the subscriber.
 
         A one-way send only fails observably when the consumer is
@@ -252,11 +288,13 @@ class NotificationProducer:
         wrapper = self.wrapper
         policy = self.redelivery_policy
         env = wrapper.env
+        obs = getattr(wrapper.machine.network, "obs", None)
         failures = 0
         while True:
             try:
                 yield from wrapper.client.invoke(
-                    sub.consumer, body, category="notify", one_way=True
+                    sub.consumer, body, category="notify", one_way=True,
+                    parent_span=parent_span,
                 )
                 return
             except DeliveryError:
@@ -265,7 +303,20 @@ class NotificationProducer:
                     break
                 self.redeliveries += 1
                 wrapper.machine.network.stats.redeliveries += 1
+                rspan = None
+                if obs is not None:
+                    rspan = obs.start_span(
+                        "wsn.redelivery",
+                        parent=parent_span,
+                        attrs={
+                            "service": wrapper.path,
+                            "subscription": sub.resource_id,
+                            "attempt": failures,
+                        },
+                    )
                 yield env.timeout(policy.delay_for(failures, self._redelivery_rng))
+                if rspan is not None:
+                    obs.finish(rspan)
             except Exception:
                 return  # non-transport failure: plain one-way loss
         if sub.resource_id in self.subscriptions:

@@ -168,7 +168,9 @@ class NotificationBrokerService(ServiceSkeleton):
 
     def on_notification(self, topic, payload, producer):
         """Inbound Notify (consumer side) → republish to subscribers."""
-        self.wsrf.wrapper.publish(topic, payload)
+        # Routed through notify() so the broker's fan-out spans parent to
+        # the inbound Notify's dispatch span.
+        self.notify(topic, payload)
 
     @ResourceProperty
     @property

@@ -201,8 +201,12 @@ class ServiceSkeleton:
 
         Requires the NotificationProducer port type; the wrapper routes
         the message to matching subscribers as one-way wsnt:Notify.
+        With observability on, the fan-out parents to this invocation's
+        dispatch span.
         """
-        self.wsrf.wrapper.publish(topic, payload)
+        self.wsrf.wrapper.publish(
+            topic, payload, parent_span=getattr(self.wsrf, "span", None)
+        )
 
     # -- hooks ----------------------------------------------------------------------
 

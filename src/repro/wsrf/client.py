@@ -81,44 +81,72 @@ class WsrfClient:
         reply_to: Optional[EndpointReference] = None,
         category: str = "rpc",
         one_way: bool = False,
+        parent_span=None,
     ):
         """Coroutine: send one SOAP message; returns the response payload.
 
         Request/response calls raise reconstructed :class:`BaseFault`
         subtypes (or plain :class:`SoapFault`) on service faults.
         One-way sends return None immediately after delivery.
+        *parent_span* explicitly parents this call's span (used by
+        detached senders — notification fan-out — whose logical parent
+        is not on the message-id correlation path).
         """
         if action is None:
             action = f"{body.tag.uri}/{body.tag.local}"
         headers = AddressingHeaders(to_epr=epr, action=action, reply_to=reply_to)
         envelope = SoapEnvelope(headers, body, extra_headers=extra_headers)
         raw = envelope.serialize()
-        if one_way:
-            yield from self.network.send_one_way(
-                self.source_host, epr.address, raw, category=category
+        mid = headers.message_id
+        obs = getattr(self.network, "obs", None)
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "client.invoke",
+                parent=parent_span,
+                message_id=mid,
+                attrs={
+                    "source": self.source_host,
+                    "action": action,
+                    "operation": body.tag.local,
+                    "category": category,
+                },
             )
-            return None
-        if self.retry_policy is None:
-            response_raw = yield from self.network.request(
-                self.source_host, epr.address, raw, category=category
-            )
-        else:
-            response_raw = yield from with_retry(
-                self.network.env,
-                self.retry_policy,
-                lambda: self.network.request(
-                    self.source_host, epr.address, raw, category=category
-                ),
-                rng=self._rng,
-                on_retry=self._count_retry,
-            )
-        response = SoapEnvelope.deserialize(response_raw)
-        payload = response.body
-        if SoapFault.is_fault(payload):
-            fault = SoapFault.from_element(payload)
-            typed = BaseFault.from_soap_fault(fault)
-            raise typed if typed is not None else fault
-        return payload
+        try:
+            if one_way:
+                yield from self.network.send_one_way(
+                    self.source_host, epr.address, raw, category=category,
+                    message_id=mid,
+                )
+                return None
+            if self.retry_policy is None:
+                response_raw = yield from self.network.request(
+                    self.source_host, epr.address, raw, category=category,
+                    message_id=mid,
+                )
+            else:
+                response_raw = yield from with_retry(
+                    self.network.env,
+                    self.retry_policy,
+                    lambda: self.network.request(
+                        self.source_host, epr.address, raw, category=category,
+                        message_id=mid,
+                    ),
+                    rng=self._rng,
+                    on_retry=self._count_retry,
+                )
+            response = SoapEnvelope.deserialize(response_raw)
+            payload = response.body
+            if SoapFault.is_fault(payload):
+                fault = SoapFault.from_element(payload)
+                typed = BaseFault.from_soap_fault(fault)
+                if span is not None:
+                    span.attrs["fault"] = fault.code
+                raise typed if typed is not None else fault
+            return payload
+        finally:
+            if span is not None:
+                obs.finish(span)
 
     def call(
         self,

@@ -50,11 +50,14 @@ _WSSE_SECURITY = QName(NS.WSSE, "Security")
 class InvocationContext:
     """Everything a service method can reach through ``self.wsrf``."""
 
-    def __init__(self, wrapper: "WrapperService", resource_id, envelope, delivery):
+    def __init__(self, wrapper: "WrapperService", resource_id, envelope, delivery, span=None):
         self.wrapper = wrapper
         self.resource_id = resource_id
         self.envelope = envelope
         self.delivery = delivery
+        #: the wsrf.dispatch span of this invocation (None when obs is off);
+        #: lets author code parent its own spans / notifications to the call
+        self.span = span
 
     @property
     def machine(self):
@@ -142,6 +145,9 @@ class WrapperService:
 
         self.client = WsrfClient(machine.network, machine.name)
         machine.iis.register_app(self.path, self)
+        obs = getattr(machine.network, "obs", None)
+        if obs is not None:
+            obs.register_wrapper(self)
 
     # -- identity -------------------------------------------------------------------
 
@@ -257,13 +263,13 @@ class WrapperService:
 
     # -- notifications ------------------------------------------------------------------
 
-    def publish(self, topic, payload) -> None:
+    def publish(self, topic, payload, parent_span=None) -> None:
         if self.publish_hook is None:
             raise RuntimeError(
                 f"service {self.path!r} does not import the "
                 "NotificationProducer port type"
             )
-        self.publish_hook(topic, payload)
+        self.publish_hook(topic, payload, parent_span=parent_span)
 
     # -- resource properties --------------------------------------------------------------
 
@@ -311,16 +317,38 @@ class WrapperService:
         self.invocations += 1
         envelope = SoapEnvelope.deserialize(payload)
         rid = envelope.addressing.to_epr.get(RESOURCE_ID)
+        obs = getattr(self.machine.network, "obs", None)
+        span = None
+        if obs is not None:
+            mid = getattr(delivery, "message_id", "") if delivery is not None else ""
+            span = obs.start_span(
+                "wsrf.dispatch",
+                message_id=mid or envelope.addressing.message_id or None,
+                attrs={
+                    "service": self.path,
+                    "host": self.machine.name,
+                    "operation": envelope.body.tag.local,
+                },
+            )
         try:
-            response_body = yield from self._dispatch(envelope, rid, delivery, pool)
+            response_body = yield from self._dispatch(
+                envelope, rid, delivery, pool, span=span
+            )
         except SoapFault as fault:
             self.faults_returned += 1
+            if span is not None:
+                span.attrs["fault"] = fault.code
             response_body = fault.to_element()
         except (SecurityError, NoSuchResource, ValueError, TypeError, KeyError, LookupError) as exc:
             self.faults_returned += 1
+            if span is not None:
+                span.attrs["fault"] = type(exc).__name__
             response_body = SoapFault(
                 "soap:Server", f"{type(exc).__name__}: {exc}"
             ).to_element()
+        finally:
+            if span is not None:
+                obs.spans.finish_subtree(span)
         if delivery is not None and delivery.one_way:
             return None
         reply_to = envelope.addressing.reply_to or EndpointReference(
@@ -340,10 +368,20 @@ class WrapperService:
             self._pending_db_ops -= 1
             yield self.machine.db_delay()
 
-    def _dispatch(self, envelope: SoapEnvelope, rid, delivery, pool=None):
+    def _dispatch(self, envelope: SoapEnvelope, rid, delivery, pool=None, span=None):
         body = envelope.body
         tag = body.tag
         self._pending_db_ops = 0
+        obs = getattr(self.machine.network, "obs", None) if span is not None else None
+        if obs is not None:
+            # EPR resolution (reading ResourceID out of the headers) costs
+            # no simulated time; the zero-length stage still marks Fig. 1
+            # step 1 in the trace.
+            stage = obs.start_span(
+                "wsrf.dispatch.epr_resolve", parent=span,
+                attrs={"service": self.path, "resource_id": rid or ""},
+            )
+            obs.finish(stage)
 
         if tag in self._author_ops:
             name, fn = self._author_ops[tag]
@@ -364,8 +402,19 @@ class WrapperService:
         instance = self.service_cls()
         state_before: Optional[Dict[QName, Any]] = None
         lock = None
+        stage = None
+        if obs is not None:
+            # Queueing: the resource lock plus the ASP.NET worker thread.
+            # Counted as a pipeline stage so the stages partition the
+            # whole dispatch span (every simulated wait lands in exactly
+            # one wsrf.dispatch.* child).
+            stage = obs.start_span(
+                "wsrf.dispatch.queue", parent=span, attrs={"service": self.path}
+            )
         if requires_resource:
             if rid is None:
+                if stage is not None:
+                    obs.finish(stage)
                 raise ResourceUnknownFault(
                     description=(
                         f"operation {tag.local} requires a WS-Resource but the "
@@ -383,7 +432,14 @@ class WrapperService:
                 yield pool.acquire()
                 worker_held = True
                 yield self.env.timeout(self.machine.params.iis_dispatch_s)
+            if stage is not None:
+                obs.finish(stage)
             if requires_resource:
+                if obs is not None:
+                    stage = obs.start_span(
+                        "wsrf.dispatch.db_load", parent=span,
+                        attrs={"service": self.path},
+                    )
                 yield self.machine.db_delay()
                 try:
                     state_before = self.store.load(self.service_name, rid)
@@ -393,8 +449,17 @@ class WrapperService:
                         timestamp=self.env.now,
                     ) from None
                 self._populate_instance(instance, state_before)
-            instance._invocation = InvocationContext(self, rid, envelope, delivery)
+                if stage is not None:
+                    obs.finish(stage)
+            instance._invocation = InvocationContext(
+                self, rid, envelope, delivery, span=span
+            )
 
+            if obs is not None:
+                stage = obs.start_span(
+                    "wsrf.dispatch.method", parent=span,
+                    attrs={"service": self.path, "operation": tag.local},
+                )
             if handler_kind == "author":
                 kwargs = self._deserialize_args(fn, body)
                 result = fn(instance, **kwargs)
@@ -408,7 +473,14 @@ class WrapperService:
                 if inspect.isgenerator(result):
                     result = yield from result
                 response_body = result
+            if stage is not None:
+                obs.finish(stage)
 
+            if obs is not None:
+                stage = obs.start_span(
+                    "wsrf.dispatch.db_save", parent=span,
+                    attrs={"service": self.path},
+                )
             # Save state if the resource still exists and anything changed.
             if (
                 requires_resource
@@ -420,6 +492,8 @@ class WrapperService:
                     yield self.machine.db_delay()
                     self.store.save(self.service_name, rid, state_after)
             yield from self._charge_pending_db()
+            if stage is not None:
+                obs.finish(stage)
             return response_body
         finally:
             if worker_held:

@@ -444,3 +444,47 @@ class TestFaultInjection:
             LinkFaultPlan(drop_probability=-0.1)
         with pytest.raises(ValueError):
             LinkFaultPlan(extra_latency_s=-1.0)
+
+
+class TestNetworkStatsReset:
+    def test_reset_zeroes_every_field(self):
+        """reset() must zero ALL fields, including ones added later.
+
+        The old implementation hand-listed fields; a counter added to the
+        dataclass without a matching reset line would silently survive
+        and corrupt benchmark deltas.  This touches every field via the
+        dataclass machinery so the test itself cannot go stale either.
+        """
+        import dataclasses
+
+        from repro.net.network import NetworkStats
+
+        stats = NetworkStats()
+        for f in dataclasses.fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, dict):
+                key = ("a", "b") if f.name == "drops_by_link" else "k"
+                value[key] = 7
+            else:
+                setattr(stats, f.name, 7)
+        assert all(
+            getattr(stats, f.name) for f in dataclasses.fields(stats)
+        ), "every field should be non-zero before reset"
+
+        stats.reset()
+        for f in dataclasses.fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, dict):
+                assert value == {}, f"dict field {f.name} survived reset"
+            else:
+                assert value == 0, f"field {f.name} survived reset"
+
+    def test_reset_preserves_defaultdict_behaviour(self):
+        from repro.net.network import NetworkStats
+
+        stats = NetworkStats()
+        stats.record("http", 10, "rpc")
+        stats.reset()
+        stats.record("http", 5, "rpc")  # defaultdicts must still work
+        assert stats.by_scheme["http"] == 1
+        assert stats.messages == 1

@@ -530,3 +530,107 @@ class TestBrokerRedelivery:
         assert listener.received == []
         assert producer.dropped_subscribers == []
         assert len(producer.subscriptions) == 1
+
+
+class TestPublishBodyIsolation:
+    """Regression: publish() used to share one mutable Notify body."""
+
+    def test_mutation_after_publish_does_not_alias_into_sends(self, fabric, monkeypatch):
+        env, net, pm, wrapper, client = fabric
+        listeners = []
+        for i in range(2):
+            net.add_host(f"iso{i}")
+            listener = NotificationListener(net, f"iso{i}")
+            listeners.append(listener)
+            run(env, client.subscribe(wrapper.service_epr(), listener.epr, "t/x"))
+
+        # Capture the internal Notify body publish() builds, so we can
+        # mutate it after publish() returns (the detached one-way sends
+        # serialize later — a shared tree would leak the mutation).
+        import repro.wsn.base_notification as bn
+
+        captured = []
+        original = bn.build_notify_body
+
+        def capturing(topic_path, payload, producer_epr=None):
+            body = original(topic_path, payload, producer_epr)
+            captured.append(body)
+            return body
+
+        monkeypatch.setattr(bn, "build_notify_body", capturing)
+        producer = wrapper.notification_producer
+        payload = Element(QName(UVA, "Event"), text="original")
+        sent = producer.publish("t/x", payload)
+        assert sent == 2 and len(captured) == 1
+
+        # Corrupt the shared tree before the detached sends serialize.
+        for el in captured[0].iter():
+            el.text = "corrupted"
+        env.run()
+        texts = [listener.received[0].payload.full_text() for listener in listeners]
+        assert texts == ["original", "original"]
+
+    def test_mutation_does_not_alias_into_redeliveries(self, fabric, monkeypatch):
+        from repro.net.retry import RetryPolicy
+        from repro.wsn.broker import enable_redelivery
+
+        env, net, pm, wrapper, client = fabric
+        net.add_host("red0")
+        listener = NotificationListener(net, "red0")
+        run(env, client.subscribe(wrapper.service_epr(), listener.epr, "t/x"))
+        enable_redelivery(
+            wrapper, RetryPolicy(max_attempts=3, base_delay_s=0.1, jitter=0.0)
+        )
+        # First delivery attempt fails (host down) → redelivery path keeps
+        # the body pending across simulated time.
+        net.host("red0").down = True
+
+        import repro.wsn.base_notification as bn
+
+        captured = []
+        original = bn.build_notify_body
+
+        def capturing(topic_path, payload, producer_epr=None):
+            body = original(topic_path, payload, producer_epr)
+            captured.append(body)
+            return body
+
+        monkeypatch.setattr(bn, "build_notify_body", capturing)
+        producer = wrapper.notification_producer
+        producer.publish("t/x", Element(QName(UVA, "Event"), text="original"))
+        for el in captured[0].iter():
+            el.text = "corrupted"
+        env.run(until=env.now + 0.05)
+        net.host("red0").down = False  # recover before budget exhausts
+        env.run()
+        assert [n.payload.full_text() for n in listener.received] == ["original"]
+        assert producer.redeliveries >= 1
+
+
+class TestTopicsCapSignal:
+    """Regression: the topics_seen cap used to truncate silently."""
+
+    def test_truncation_is_flagged_and_counted(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        producer = wrapper.notification_producer
+        producer._topics_cap = 3
+        for i in range(5):
+            producer.publish(f"t/{i}", Element(QName(UVA, "E"), text="x"))
+        assert len(producer.topics_seen) == 3
+        assert producer.topics_truncated is True
+        assert producer.topics_dropped == 2
+
+    def test_republishing_known_topic_not_counted_as_dropped(self, fabric):
+        env, net, pm, wrapper, client = fabric
+        producer = wrapper.notification_producer
+        producer._topics_cap = 1
+        producer.publish("t/a", Element(QName(UVA, "E"), text="x"))
+        producer.publish("t/a", Element(QName(UVA, "E"), text="y"))
+        assert producer.topics_truncated is False
+        assert producer.topics_dropped == 0
+        producer.publish("t/b", Element(QName(UVA, "E"), text="z"))
+        producer.publish("t/b", Element(QName(UVA, "E"), text="z"))
+        assert producer.topics_truncated is True
+        # the same unseen topic republished counts each time: the signal
+        # tracks how often advertisement was wrong, not distinct names
+        assert producer.topics_dropped == 2
