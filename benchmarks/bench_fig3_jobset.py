@@ -22,10 +22,10 @@ from repro.gridapp import FileRef, JobSpec, Testbed
 from repro.osim.programs import make_compute_program
 
 
-def _make_testbed(n_machines, seed=11, observability=False):
+def _make_testbed(n_machines, seed=11, observability=False, perf=None):
     tb = Testbed(n_machines=n_machines, seed=seed,
                  machine_speeds=[1.0] * n_machines,
-                 observability=observability)
+                 observability=observability, perf=perf)
     tb.programs.register(
         make_compute_program("work", 30.0, outputs={"out": b"x"})
     )
@@ -182,6 +182,85 @@ def bench_fig3_observed_jobset(benchmark):
     benchmark.extra_info.update(
         {"makespan_s": makespan, "messages": payload["messages"]}
     )
+
+
+def bench_fig3_perf_jobset(benchmark):
+    """FIG-3 with the hot-path performance layer on vs. off: the
+    default run must stay byte-identical to the pinned BENCH_fig3.json
+    shape, the perf run must cut central messages by >= 20% and elide
+    DB save stages; emits ``BENCH_fig3_perf.json`` for the CI artifact
+    trail (docs/performance.md)."""
+    from repro.gridapp import PerfConfig
+
+    def run_observed(perf):
+        tb = _make_testbed(4, observability=True, perf=perf)
+        client = tb.make_client()
+        start = tb.env.now
+        outcome, _, _ = tb.run_job_set(client, _independent_spec(client, tb, 8))
+        assert outcome == "completed"
+        makespan = tb.env.now - start
+        tb.settle()
+        reg = tb.obs.collect()
+        stage_counts = {}
+        for name, _labels, metric in reg.query("wsrf.dispatch*_s"):
+            stage_counts[name] = stage_counts.get(name, 0) + metric.count
+        return {
+            "makespan_s": makespan,
+            "messages": int(reg.value("net.messages")),
+            "bytes": int(reg.value("net.bytes")),
+            "dispatches": len(tb.obs.spans.named("wsrf.dispatch")),
+            "stage_counts": stage_counts,
+        }
+
+    def scenario():
+        return run_observed(None), run_observed(PerfConfig())
+
+    off, on = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    saving = 1.0 - on["messages"] / off["messages"]
+    print_table(
+        "FIG-3: 8-job set with the perf layer off/on",
+        ["metric", "off", "on"],
+        [
+            ["makespan_s", off["makespan_s"], on["makespan_s"]],
+            ["central messages", off["messages"], on["messages"]],
+            ["bytes", off["bytes"], on["bytes"]],
+            ["dispatches", off["dispatches"], on["dispatches"]],
+            ["db_save stages",
+             off["stage_counts"].get("wsrf.dispatch.db_save_s", 0),
+             on["stage_counts"].get("wsrf.dispatch.db_save_s", 0)],
+        ],
+    )
+    benchmark.extra_info.update(
+        {"messages_off": off["messages"], "messages_on": on["messages"],
+         "message_saving": saving}
+    )
+
+    # Guard 1 — default off is exactly the pinned BENCH_fig3.json shape.
+    assert off["messages"] == 190
+    assert off["dispatches"] == 114
+    assert off["makespan_s"] == pytest.approx(60.20550281999998, rel=1e-9)
+    assert (
+        off["stage_counts"]["wsrf.dispatch.db_save_s"] == off["dispatches"]
+    ), "without elision every dispatch records a db_save stage"
+    # Guard 2 — batching + NIS pass caching cut central messages >= 20%.
+    assert on["messages"] <= 0.8 * off["messages"], saving
+    # Guard 3 — write elision removes db_save stages outright.
+    assert (
+        on["stage_counts"]["wsrf.dispatch.db_save_s"]
+        < off["stage_counts"]["wsrf.dispatch.db_save_s"]
+    )
+    # The job-set itself finishes in essentially the same simulated time
+    # (the work dominates; the layer trims plumbing, not compute).
+    assert on["makespan_s"] == pytest.approx(off["makespan_s"], rel=0.01)
+
+    payload = {
+        "figure": "fig3-perf",
+        "off": off,
+        "on": on,
+        "message_saving": saving,
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fig3_perf.json"
+    out.write_text(json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8")
 
 
 def bench_fig3_chain_not_parallelizable(benchmark):

@@ -36,18 +36,30 @@ class _FixedWorkApp:
         return "done"
 
 
+def _p95(samples):
+    ordered = sorted(samples)
+    return ordered[int(round(0.95 * (len(ordered) - 1)))]
+
+
 def bench_scale_worker_pool_knee(benchmark):
-    """Mean response time vs concurrent clients, 4-thread pool."""
+    """Response time (mean and p95) and IIS queue depth vs concurrent
+    clients, 4-thread pool: latency grows linearly with queue depth."""
+
+    SAMPLE_PERIOD = 0.010
 
     def scenario():
         rows = []
         series = {}
+        p95s = {}
+        depth_series = {}
         for concurrency in (1, 2, 4, 8, 16):
             env = Environment()
             net = Network(env)
             machine = Machine(net, "server", params=MachineParams(iis_workers=4))
             machine.iis.register_app("Work", _FixedWorkApp(env))
             latencies = []
+            depths = []
+            done = []
 
             def one_client(env, index):
                 net.add_host(f"c{index}")
@@ -55,25 +67,56 @@ def bench_scale_worker_pool_knee(benchmark):
                     start = env.now
                     yield from net.request(f"c{index}", "http://server:80/Work", "x")
                     latencies.append(env.now - start)
+                done.append(index)
+
+            def sample_queue(env, concurrency=concurrency):
+                while len(done) < concurrency:
+                    depths.append(machine.iis.queued_requests)
+                    yield env.timeout(SAMPLE_PERIOD)
 
             procs = [env.process(one_client(env, i)) for i in range(concurrency)]
+            env.process(sample_queue(env))
             env.run()
             mean = sum(latencies) / len(latencies)
-            rows.append([concurrency, mean * 1000])
+            p95 = _p95(latencies)
+            rows.append(
+                [concurrency, mean * 1000, p95 * 1000, max(depths)]
+            )
             series[concurrency] = mean
-        return rows, series
+            p95s[concurrency] = p95
+            depth_series[concurrency] = depths
+        return rows, series, p95s, depth_series
 
-    rows, series = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    rows, series, p95s, depth_series = benchmark.pedantic(
+        scenario, rounds=1, iterations=1
+    )
     print_table(
         "SCALE: response time vs concurrency (4 ASP.NET workers, 50ms service)",
-        ["concurrent clients", "mean_response_ms"],
+        ["concurrent clients", "mean_response_ms", "p95_response_ms", "max_queue_depth"],
         rows,
     )
+    print_table(
+        "SCALE: IIS queue depth over time (samples every 10ms)",
+        ["concurrent clients", "queue depth series"],
+        [
+            [c, " ".join(str(d) for d in depths)]
+            for c, depths in depth_series.items()
+        ],
+    )
     benchmark.extra_info.update({f"c{k}_ms": v * 1000 for k, v in series.items()})
+    benchmark.extra_info.update({f"c{k}_p95_ms": v * 1000 for k, v in p95s.items()})
     # Below the pool size latency is flat; beyond it, it grows ~linearly
     # with the over-subscription factor.
     assert series[4] < series[1] * 1.5
     assert series[16] > series[4] * 2.5
+    # The tail tells the same story: p95 at 4x over-subscription is
+    # several service times, and never below the mean.
+    assert p95s[16] > p95s[4] * 2.5
+    assert all(p95s[c] >= series[c] for c in p95s)
+    # The latency knee is queueing, visibly: no queue at or below the
+    # pool size, a deep one at 4x over-subscription.
+    assert max(depth_series[1]) == 0
+    assert max(depth_series[16]) > max(depth_series[4]) + 4
 
 
 def bench_scale_grid_size(benchmark):

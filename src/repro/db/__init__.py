@@ -15,15 +15,20 @@ saved back when it returns.  This package supplies that substrate:
 - :mod:`repro.db.xmlstore` — the XML-database alternative the authors
   were "currently experimenting with" (Yukon): documents stay structured
   and are queryable with XPath.  Benchmark D-3 compares the two.
+- :mod:`repro.db.cached_store` — the opt-in write-through cache the
+  performance layer (``Testbed(perf=...)``) puts in front of the blob
+  store; proven coherent against it in tests/test_perf_equivalence.py.
 """
 
 from repro.db.engine import Column, Database, DbError, Table
 from repro.db.sql import SqlError, execute_sql
 from repro.db.resource_store import BlobResourceStore, NoSuchResource
+from repro.db.cached_store import CachedResourceStore
 from repro.db.xmlstore import XmlResourceStore
 
 __all__ = [
     "BlobResourceStore",
+    "CachedResourceStore",
     "Column",
     "Database",
     "DbError",

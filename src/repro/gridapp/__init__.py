@@ -23,6 +23,7 @@ Fig. 3 step tracing              :mod:`repro.gridapp.tracing`
 ===============================  ==============================================
 """
 
+from repro.perf import PerfConfig
 from repro.gridapp.jobset import FileRef, JobSetSpec, JobSpec
 from repro.gridapp.tracing import EventTrace, TraceEvent
 from repro.gridapp.filesystem_service import FileSystemService
@@ -48,6 +49,7 @@ __all__ = [
     "JobSetSpec",
     "JobSpec",
     "NodeInfoService",
+    "PerfConfig",
     "ProcessorUtilizationService",
     "SchedulerService",
     "Testbed",

@@ -349,6 +349,11 @@ class SchedulerService(ServiceSkeleton):
         spec = JobSetSpec.from_wire(self.jobs or [])
         name_map = spec.name_map()
         phases = dict(self.job_phase or {})
+        # With the performance layer on, one NIS GetProcessors catalog is
+        # shared by every dispatch of this scheduling pass (the catalog
+        # lags reality anyway; in-flight placements are folded in per
+        # dispatch below, so placement decisions are unchanged).
+        pass_cache: Dict[str, List[Dict]] = {}
         for job in spec.jobs:
             if phases.get(job.name) != "pending":
                 continue
@@ -357,7 +362,7 @@ class SchedulerService(ServiceSkeleton):
             ):
                 continue
             try:
-                yield from self._dispatch_with_failover(job, name_map)
+                yield from self._dispatch_with_failover(job, name_map, pass_cache)
             except (SoapFault, DeliveryError, LookupError) as fault:
                 # A dispatch failure must not unwind the whole pass (the
                 # already-recorded placements would be lost): mark the job
@@ -374,7 +379,7 @@ class SchedulerService(ServiceSkeleton):
     def _ft(self) -> Optional[FaultToleranceConfig]:
         return getattr(self.wsrf.wrapper, "fault_tolerance", None)
 
-    def _dispatch_with_failover(self, job, name_map):
+    def _dispatch_with_failover(self, job, name_map, pass_cache=None):
         """Dispatch *job*, failing over to other machines under FT.
 
         Transport failures (the target never answered Run, even after
@@ -385,13 +390,15 @@ class SchedulerService(ServiceSkeleton):
         """
         ft = self._ft()
         if ft is None:
-            yield from self._dispatch(job, name_map)
+            yield from self._dispatch(job, name_map, pass_cache=pass_cache)
             return
         excluded = set((self.job_excluded or {}).get(job.name, ()))
         for attempt in range(1, ft.max_dispatch_attempts + 1):
             self._last_target = None
             try:
-                yield from self._dispatch(job, name_map, exclude=excluded)
+                yield from self._dispatch(
+                    job, name_map, exclude=excluded, pass_cache=pass_cache
+                )
                 return
             except DeliveryError as fault:
                 if attempt >= ft.max_dispatch_attempts:
@@ -410,7 +417,7 @@ class SchedulerService(ServiceSkeleton):
                 )
                 self._announce_recovery(job.name, dead or "?", str(fault))
 
-    def _dispatch(self, job, name_map, exclude=()):
+    def _dispatch(self, job, name_map, exclude=(), pass_cache=None):
         wrapper = self.wsrf.wrapper
         machine = self.machine
         # Step 2: poll the NIS.
@@ -418,9 +425,22 @@ class SchedulerService(ServiceSkeleton):
         nis_epr = getattr(wrapper, "nis_epr", None)
         if nis_epr is None:
             raise SchedulingFault(description="scheduler has no Node Info service")
-        processors = yield from self.client.call(
-            nis_epr, SG, "GetProcessors", category="nis"
+        perf = getattr(wrapper, "perf", None)
+        batch_nis = (
+            perf is not None and perf.nis_pass_cache and pass_cache is not None
         )
+        if batch_nis and "processors" in pass_cache:
+            # Performance layer: reuse this pass's catalog instead of
+            # polling once per job.  Each dispatch still gets private
+            # dict copies (the queued-folding below mutates them).
+            processors = [dict(p) for p in pass_cache["processors"]]
+            wrapper.nis_polls_elided = getattr(wrapper, "nis_polls_elided", 0) + 1
+        else:
+            processors = yield from self.client.call(
+                nis_epr, SG, "GetProcessors", category="nis"
+            )
+            if batch_nis:
+                pass_cache["processors"] = [dict(p) for p in processors]
         policy = getattr(wrapper, "scheduling_policy", "best")
         if not hasattr(wrapper, "_rr_state"):
             wrapper._rr_state = {"next": 0}

@@ -56,6 +56,7 @@ class Testbed:
         fault_tolerance=None,
         broker_redelivery=None,
         observability: bool = False,
+        perf=None,
     ) -> None:
         """Assemble the grid; optional knobs enable fault tolerance.
 
@@ -69,6 +70,14 @@ class Testbed:
         RetryPolicy) bounds broker notification redelivery before a dead
         subscriber is dropped.  All default to off, preserving the
         paper's fail-fast semantics.
+
+        ``perf`` (a :class:`repro.perf.PerfConfig`, see
+        docs/performance.md) opts every service into the hot-path
+        performance layer: write-through state caching with load/save
+        elision, batched broker notification fan-out, and per-pass NIS
+        catalog reuse in the Scheduler.  Also off by default;
+        tests/test_perf_equivalence.py proves enabling it changes only
+        simulated latencies.
         """
         if n_machines < 1:
             raise ValueError("a grid needs at least one machine")
@@ -86,6 +95,7 @@ class Testbed:
         self.rng = np.random.default_rng(seed)
         self.ca = CertificateAuthority()
         self.programs = ProgramRegistry()
+        self.perf = perf
 
         if machine_speeds is None:
             # Heterogeneous campus desktops: 1.0x to 2.0x, deterministic.
@@ -101,10 +111,12 @@ class Testbed:
             programs=self.programs,
         )
         self._enroll(self.central)
-        self.broker = deploy(NotificationBrokerService, self.central, "NotificationBroker")
+        self.broker = deploy(
+            NotificationBrokerService, self.central, "NotificationBroker", perf=perf
+        )
         attach_notification_producer(self.broker)
-        self.node_info = deploy(NodeInfoService, self.central, "NodeInfo")
-        self.scheduler = deploy(SchedulerService, self.central, "Scheduler")
+        self.node_info = deploy(NodeInfoService, self.central, "NodeInfo", perf=perf)
+        self.scheduler = deploy(SchedulerService, self.central, "Scheduler", perf=perf)
 
         # -- grid machines ------------------------------------------------------------
         self.machines: List[Machine] = []
@@ -124,8 +136,10 @@ class Testbed:
             machine.fs.mkdir(GRID_ROOT)
             self._enroll(machine)
             self.machines.append(machine)
-            self.fss[machine.name] = deploy(FileSystemService, machine, "FileSystem")
-            es = deploy(ExecutionService, machine, "ExecService")
+            self.fss[machine.name] = deploy(
+                FileSystemService, machine, "FileSystem", perf=perf
+            )
+            es = deploy(ExecutionService, machine, "ExecService", perf=perf)
             es.broker_epr = self.broker.service_epr()
             self.es[machine.name] = es
             util = ProcessorUtilizationService(
@@ -147,8 +161,10 @@ class Testbed:
             self._enroll(machine)
             self.machines.append(machine)
             self.linux_machines.append(machine)
-            self.fss[machine.name] = deploy(FileSystemService, machine, "FileSystem")
-            es = deploy(Gt4ExecutionService, machine, "ExecService")
+            self.fss[machine.name] = deploy(
+                FileSystemService, machine, "FileSystem", perf=perf
+            )
+            es = deploy(Gt4ExecutionService, machine, "ExecService", perf=perf)
             es.broker_epr = self.broker.service_epr()
             self.es[machine.name] = es
             util = ProcessorUtilizationService(
@@ -178,6 +194,13 @@ class Testbed:
             from repro.wsn.broker import enable_redelivery
 
             enable_redelivery(self.broker, broker_redelivery)
+        if perf is not None and perf.notification_batch_window_s > 0:
+            from repro.wsn.batching import enable_batching
+
+            # Only the broker's fan-out batches: it is the one producer
+            # with per-event subscriber multiplicity (the ES->broker leg
+            # is already a single message per event).
+            enable_batching(self.broker, perf.notification_batch_window_s)
         if retry_policy is not None:
             wrappers = [self.scheduler, self.broker, self.node_info]
             wrappers += list(self.fss.values()) + list(self.es.values())

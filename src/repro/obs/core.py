@@ -141,6 +141,25 @@ class Observability:
             reg.counter("db.loads", **ids).set_total(store.loads)
             reg.counter("db.saves", **ids).set_total(store.saves)
             reg.counter("db.scans", **ids).set_total(store.scans)
+            # Performance-layer cache effectiveness (CachedResourceStore
+            # only — with perf off these metrics don't exist at all, so
+            # default exports stay byte-identical).
+            hits = getattr(store, "hits", None)
+            if hits is not None:
+                reg.counter("perf.cache_hits", **ids).set_total(int(hits))
+                reg.counter("perf.cache_misses", **ids).set_total(
+                    int(getattr(store, "misses", 0))
+                )
+        if getattr(wrapper, "perf", None) is not None:
+            reg.counter("perf.loads_elided", **ids).set_total(
+                int(getattr(wrapper, "loads_elided", 0))
+            )
+            reg.counter("perf.writes_elided", **ids).set_total(
+                int(getattr(wrapper, "writes_elided", 0))
+            )
+            nis_elided = getattr(wrapper, "nis_polls_elided", None)
+            if nis_elided is not None:
+                reg.counter("perf.nis_polls_elided", **ids).set_total(int(nis_elided))
         producer = getattr(wrapper, "notification_producer", None)
         if producer is not None:
             reg.counter("wsn.notifications_sent", **ids).set_total(
@@ -156,6 +175,13 @@ class Observability:
                 1 if producer.topics_truncated else 0
             )
             reg.counter("wsn.topics_dropped", **ids).set_total(producer.topics_dropped)
+            batcher = getattr(producer, "batcher", None)
+            if batcher is not None:
+                reg.counter("wsn.batches_sent", **ids).set_total(batcher.batches_sent)
+                reg.counter("wsn.notifications_batched", **ids).set_total(
+                    batcher.notifications_batched
+                )
+                reg.gauge("wsn.batch_max_size", **ids).set(batcher.max_batch_size)
         recoveries = getattr(wrapper, "recoveries_announced", None)
         if recoveries is not None:
             reg.counter("scheduler.recoveries", **ids).set_total(recoveries)

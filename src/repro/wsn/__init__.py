@@ -28,10 +28,12 @@ from repro.wsn.base_notification import (
     NotificationProducerPortType,
     SubscriptionManagerPortType,
     attach_notification_producer,
+    build_notify_batch_body,
     build_notify_body,
     build_subscribe_body,
     parse_notify_body,
 )
+from repro.wsn.batching import NotificationBatcher, enable_batching
 from repro.wsn.consumer import NotificationListener, ReceivedNotification
 from repro.wsn.broker import (
     DemandPublisherPortType,
@@ -44,6 +46,7 @@ __all__ = [
     "FULL_DIALECT",
     "SIMPLE_DIALECT",
     "DemandPublisherPortType",
+    "NotificationBatcher",
     "NotificationBrokerService",
     "NotificationConsumerPortType",
     "NotificationListener",
@@ -54,7 +57,9 @@ __all__ = [
     "TopicExpression",
     "TopicExpressionError",
     "attach_notification_producer",
+    "build_notify_batch_body",
     "build_notify_body",
+    "enable_batching",
     "build_subscribe_body",
     "parse_notify_body",
 ]

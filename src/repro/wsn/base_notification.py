@@ -75,6 +75,30 @@ def build_notify_body(
     return body
 
 
+def build_notify_batch_body(
+    events: List[Tuple[str, Element]],
+    producer_epr: Optional[EndpointReference] = None,
+) -> Element:
+    """One wsnt:Notify carrying several NotificationMessages.
+
+    The WS-BaseNotification schema allows any number of
+    NotificationMessage children per Notify; :func:`parse_notify_body`
+    (and therefore every consumer port type) already handles the
+    multi-message form.  The performance layer's batcher uses this to
+    coalesce a window of events to one subscriber into a single
+    network message.  Messages keep publish order within the batch.
+    """
+    body = Element(NOTIFY)
+    for topic_path, payload in events:
+        message = body.subelement(_NOTIFICATION_MESSAGE)
+        topic = message.subelement(_TOPIC, text=topic_path)
+        topic.set("Dialect", CONCRETE_DIALECT)
+        if producer_epr is not None:
+            message.append(producer_epr.to_xml(_PRODUCER_REF))
+        message.subelement(_MESSAGE).append(payload.copy())
+    return body
+
+
 def parse_notify_body(
     body: Element,
 ) -> List[Tuple[str, Element, Optional[EndpointReference]]]:
@@ -159,6 +183,10 @@ class NotificationProducer:
         #: keeps the documented one-way loss semantics.
         self.redelivery_policy = None
         self.redeliveries = 0
+        #: optional NotificationBatcher (see repro.wsn.batching): when
+        #: set, publish enqueues per-subscriber instead of sending one
+        #: Notify per subscriber per event.  None keeps immediate fan-out.
+        self.batcher = None
         #: subscription ids dropped after exhausting redelivery
         self.dropped_subscribers: list = []
         self._redelivery_rng = np.random.default_rng(
@@ -237,7 +265,6 @@ class NotificationProducer:
             else:
                 self.topics_truncated = True
                 self.topics_dropped += 1
-        body = build_notify_body(topic_path, payload, wrapper.service_epr())
         targets = [
             sub
             for sub in self.subscriptions.values()
@@ -255,20 +282,26 @@ class NotificationProducer:
                     "service": wrapper.path,
                     "topic": topic_path,
                     "targets": len(targets),
+                    **({"batched": True} if self.batcher is not None else {}),
                 },
             )
-        for sub in targets:
-            # Each dispatch gets its own deep copy: the sends (and any
-            # redelivery retries) run detached and serialize later, so a
-            # shared tree would alias one consumer's mutations into the
-            # other subscribers' still-pending notifications.
-            dispatch_body = body.copy()
-            if self.redelivery_policy is None:
-                fire_and_forget(
-                    env, client, sub.consumer, dispatch_body, parent_span=span
-                )
-            else:
-                env.process(self._redeliver(sub, dispatch_body, parent_span=span))
+        if self.batcher is not None:
+            for sub in targets:
+                self.batcher.enqueue(sub, topic_path, payload)
+        else:
+            body = build_notify_body(topic_path, payload, wrapper.service_epr())
+            for sub in targets:
+                # Each dispatch gets its own deep copy: the sends (and any
+                # redelivery retries) run detached and serialize later, so a
+                # shared tree would alias one consumer's mutations into the
+                # other subscribers' still-pending notifications.
+                dispatch_body = body.copy()
+                if self.redelivery_policy is None:
+                    fire_and_forget(
+                        env, client, sub.consumer, dispatch_body, parent_span=span
+                    )
+                else:
+                    env.process(self._redeliver(sub, dispatch_body, parent_span=span))
         self.notifications_sent += len(targets)
         if span is not None:
             obs.finish(span)

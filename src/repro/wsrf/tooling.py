@@ -22,7 +22,8 @@ import inspect
 import itertools
 from typing import Any, Callable, Dict, Optional, Tuple, Type
 
-from repro.db import BlobResourceStore, NoSuchResource
+from repro.db import BlobResourceStore, CachedResourceStore, NoSuchResource
+from repro.perf import PerfConfig
 from repro.sim import Lock
 from repro.soap import SoapEnvelope, SoapFault, from_typed_element, to_typed_element
 from repro.wsa import AddressingHeaders, EndpointReference
@@ -99,6 +100,7 @@ class WrapperService:
         machine,
         path: str,
         store: Optional[BlobResourceStore] = None,
+        perf: Optional[PerfConfig] = None,
     ) -> None:
         if not issubclass(service_cls, ServiceSkeleton):
             raise TypeError(
@@ -110,6 +112,11 @@ class WrapperService:
         self.path = path.strip("/")
         self.service_name = self.path
         self.store = store if store is not None else BlobResourceStore()
+        self.perf = perf
+        if perf is not None and perf.state_cache and not isinstance(
+            self.store, CachedResourceStore
+        ):
+            self.store = CachedResourceStore(self.store)
         self.address = machine.service_url(self.path)
 
         self._fields = collect_resource_fields(service_cls)
@@ -140,6 +147,9 @@ class WrapperService:
         #: diagnostics
         self.invocations = 0
         self.faults_returned = 0
+        #: performance-layer counters (stay 0 with perf off)
+        self.writes_elided = 0
+        self.loads_elided = 0
 
         from repro.wsrf.client import WsrfClient
 
@@ -435,12 +445,27 @@ class WrapperService:
             if stage is not None:
                 obs.finish(stage)
             if requires_resource:
+                cache_hit = (
+                    self.perf is not None
+                    and self.perf.state_cache
+                    and isinstance(self.store, CachedResourceStore)
+                    and self.store.is_cached(self.service_name, rid)
+                )
                 if obs is not None:
+                    attrs = {"service": self.path}
+                    if self.perf is not None and self.perf.state_cache:
+                        attrs["cache"] = "hit" if cache_hit else "miss"
                     stage = obs.start_span(
-                        "wsrf.dispatch.db_load", parent=span,
-                        attrs={"service": self.path},
+                        "wsrf.dispatch.db_load", parent=span, attrs=attrs,
                     )
-                yield self.machine.db_delay()
+                if cache_hit:
+                    # The state is served from the write-through cache:
+                    # no database access, no db delay.  The resource lock
+                    # is held, so nothing can invalidate the entry between
+                    # the is_cached probe and the load.
+                    self.loads_elided += 1
+                else:
+                    yield self.machine.db_delay()
                 try:
                     state_before = self.store.load(self.service_name, rid)
                 except NoSuchResource:
@@ -476,21 +501,35 @@ class WrapperService:
             if stage is not None:
                 obs.finish(stage)
 
-            if obs is not None:
-                stage = obs.start_span(
-                    "wsrf.dispatch.db_save", parent=span,
-                    attrs={"service": self.path},
-                )
             # Save state if the resource still exists and anything changed.
+            state_after: Optional[Dict[QName, Any]] = None
             if (
                 requires_resource
                 and state_before is not None
                 and self.store.exists(self.service_name, rid)
             ):
-                state_after = self._state_from_instance(instance)
-                if state_after != state_before:
-                    yield self.machine.db_delay()
-                    self.store.save(self.service_name, rid, state_after)
+                candidate = self._state_from_instance(instance)
+                if candidate != state_before:
+                    state_after = candidate
+            if (
+                self.perf is not None
+                and self.perf.write_elision
+                and state_after is None
+                and self._pending_db_ops == 0
+            ):
+                # Nothing to persist: skip the db_save stage entirely.
+                # (WSRF.NET's pipeline opens it unconditionally, so the
+                # default path below keeps the stage even when empty.)
+                self.writes_elided += 1
+                return response_body
+            if obs is not None:
+                stage = obs.start_span(
+                    "wsrf.dispatch.db_save", parent=span,
+                    attrs={"service": self.path},
+                )
+            if state_after is not None:
+                yield self.machine.db_delay()
+                self.store.save(self.service_name, rid, state_after)
             yield from self._charge_pending_db()
             if stage is not None:
                 obs.finish(stage)
@@ -538,6 +577,12 @@ def deploy(
     machine,
     path: str,
     store: Optional[BlobResourceStore] = None,
+    perf: Optional[PerfConfig] = None,
 ) -> WrapperService:
-    """Run the WSRF.NET tooling: wrap *service_cls* and host it in IIS."""
-    return WrapperService(service_cls, machine, path, store=store)
+    """Run the WSRF.NET tooling: wrap *service_cls* and host it in IIS.
+
+    Passing a :class:`~repro.perf.PerfConfig` opts this service into the
+    hot-path performance layer (state caching + write elision); the
+    default ``perf=None`` keeps the unoptimized Fig. 1 pipeline.
+    """
+    return WrapperService(service_cls, machine, path, store=store, perf=perf)

@@ -29,7 +29,7 @@ PAYLOAD = b"chaos-proof payload"
 DROP_THRESHOLD = 0.20
 
 
-def _build(n_jobs, drop, fault_seed, retries):
+def _build(n_jobs, drop, fault_seed, retries, perf=None):
     policy = RetryPolicy(
         max_attempts=5, base_delay_s=0.2, backoff_factor=2.0,
         max_delay_s=2.0, timeout_s=30.0,
@@ -44,6 +44,7 @@ def _build(n_jobs, drop, fault_seed, retries):
             else None
         ),
         broker_redelivery=policy if retries else None,
+        perf=perf,
     )
     if drop:
         tb.network.inject_faults(drop_probability=drop, seed=fault_seed)
@@ -111,6 +112,46 @@ class TestChaosCompletion:
         for name, dir_epr in sorted(_job_dirs(tb, jobset_epr).items()):
             content = tb.run(client.fetch_output(dir_epr, "out.dat"))
             assert content.to_bytes() == PAYLOAD, name
+
+
+class TestChaosWithPerfLayer:
+    """Regression: retried/duplicated messages under loss must never
+    leave the performance layer's caches stale — no resurrecting a
+    destroyed resource, no serving pre-retry state."""
+
+    def _run_with_perf(self, n_jobs=10):
+        from repro.gridapp import PerfConfig
+
+        tb, client, spec = _build(
+            n_jobs=n_jobs, drop=DROP_THRESHOLD, fault_seed=3, retries=True,
+            perf=PerfConfig(),
+        )
+        outcome, jobset_epr, _ = tb.run(
+            client.run_job_set_polled(spec, period=3.0, give_up_after=2000.0)
+        )
+        return tb, client, outcome, jobset_epr
+
+    def test_completes_at_threshold_with_caching(self):
+        tb, client, outcome, jobset_epr = self._run_with_perf()
+        assert outcome == "completed"
+        assert tb.network.stats.drops > 0, "chaos must actually have bitten"
+        dirs = _job_dirs(tb, jobset_epr)
+        assert len(dirs) == 10
+        for name, dir_epr in sorted(dirs.items()):
+            content = tb.run(client.fetch_output(dir_epr, "out.dat"))
+            assert content.to_bytes() == PAYLOAD, name
+
+    def test_no_stale_or_resurrected_cache_entries(self):
+        """After the chaotic run, every service's cache agrees with its
+        database byte-for-byte and holds no destroyed resources."""
+        tb, _, outcome, _ = self._run_with_perf(n_jobs=6)
+        assert outcome == "completed"
+        tb.settle()
+        wrappers = [tb.scheduler, tb.broker, tb.node_info]
+        wrappers += list(tb.fss.values()) + list(tb.es.values())
+        for wrapper in wrappers:
+            wrapper.store.assert_coherent()
+        assert tb.scheduler.store.hits > 0, "the cache must have been exercised"
 
 
 class TestChaosDeterminism:
