@@ -1,0 +1,88 @@
+"""CI gate: compare BENCH_wallclock.json against the committed baseline.
+
+Fails (exit 1) when events/s regresses by more than the tolerance
+(default 30%) relative to ``benchmarks/BENCH_wallclock_baseline.json``.
+Only *regressions* fail — faster runs pass and print the improvement.
+Wall-clock rates are host-dependent, so the tolerance is deliberately
+wide: the gate exists to catch order-of-magnitude hot-path accidents
+(an always-on profiler, a quadratic store scan), not minor jitter.
+
+Usage::
+
+    python benchmarks/check_wallclock.py BENCH_wallclock.json \
+        [--baseline benchmarks/BENCH_wallclock_baseline.json] \
+        [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / (
+    "BENCH_wallclock_baseline.json"
+)
+
+#: meters gated against the baseline (each with the same tolerance)
+GATED_METERS = ("events_per_s", "envelopes_per_s")
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        sys.exit(f"error: cannot read {str(path)!r}: {exc.strerror or exc}")
+    except ValueError as exc:
+        sys.exit(f"error: {str(path)!r} is not valid JSON: {exc}")
+    if "meters" not in payload:
+        sys.exit(f"error: {str(path)!r} has no 'meters' section")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path,
+                        help="BENCH_wallclock.json from this run")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE,
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="max allowed fractional regression "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    for meter in GATED_METERS:
+        base = baseline["meters"].get(meter)
+        now = current["meters"].get(meter)
+        if base is None or now is None:
+            failures.append(f"{meter}: missing from "
+                            f"{'baseline' if base is None else 'current'}")
+            continue
+        change = (now - base) / base
+        status = "FAIL" if change < -args.tolerance else "ok"
+        print(f"{status:>4}  {meter:<18} baseline={base:>12.1f}  "
+              f"current={now:>12.1f}  change={change:+.1%}")
+        if change < -args.tolerance:
+            failures.append(
+                f"{meter} regressed {-change:.1%} "
+                f"(limit {args.tolerance:.0%}): {base:.1f} -> {now:.1f}"
+            )
+
+    if failures:
+        print("\nwall-clock benchmark gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nwall-clock benchmark gate passed "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -327,6 +327,18 @@ _WALLCLOCK = {
 _DATETIME_CALLS = {"now", "utcnow", "today"}
 _UUID_CALLS = {"uuid1", "uuid4"}
 
+#: path suffixes allowed to read the host timer family (perf_counter &
+#: friends): the wall-clock profiler's entire job is timing the host.
+#: The exemption is for timers ONLY — datetime, RNG, uuid and set-order
+#: findings still fire in these files — and a suffix match keeps the
+#: rule hot everywhere else (repro.sim, repro.net, repro.wsrf, ...).
+DET001_TIMER_ALLOWLIST = ("obs/prof.py",)
+
+
+def _timer_allowlisted(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(DET001_TIMER_ALLOWLIST)
+
 
 @register_rule(
     "DET001",
@@ -351,11 +363,12 @@ def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
             parts = dotted_parts(node.func)
             dotted = ".".join(parts)
             if tuple(parts[-2:]) in _WALLCLOCK and parts[0] == "time":
-                yield finding(
-                    node,
-                    f"{dotted}() reads the wall clock; use env.now so "
-                    "runs are reproducible under the simulation clock",
-                )
+                if not _timer_allowlisted(ctx.path):
+                    yield finding(
+                        node,
+                        f"{dotted}() reads the wall clock; use env.now so "
+                        "runs are reproducible under the simulation clock",
+                    )
             elif len(parts) >= 2 and parts[-1] in _DATETIME_CALLS and (
                 "datetime" in parts[:-1] or parts[0] == "datetime"
             ):

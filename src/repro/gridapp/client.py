@@ -70,7 +70,12 @@ class ClientFileServer:
         )
 
     def handle(self, payload: str, ctx):
-        envelope = SoapEnvelope.deserialize(payload)
+        prof = getattr(self.network, "prof", None)
+        if prof is None:
+            envelope = SoapEnvelope.deserialize(payload)
+        else:
+            with prof.region("soap.parse"):
+                envelope = SoapEnvelope.deserialize(payload)
         body = envelope.body
         if body.tag != QName(UVA, "Read"):
             fault = SoapFault("soap:Client", "file server only supports Read")
@@ -103,7 +108,12 @@ class ClientFileServer:
             action=request.action + "Response",
             relates_to=request.addressing.message_id,
         )
-        return SoapEnvelope(headers, body).serialize()
+        response = SoapEnvelope(headers, body)
+        prof = getattr(self.network, "prof", None)
+        if prof is None:
+            return response.serialize()
+        with prof.region("soap.encode"):
+            return response.serialize()
 
     def close(self) -> None:
         self.network.host(self.host_name).unbind(FILE_SERVER_PORT)

@@ -57,6 +57,7 @@ class Testbed:
         broker_redelivery=None,
         observability: bool = False,
         perf=None,
+        profile: bool = False,
     ) -> None:
         """Assemble the grid; optional knobs enable fault tolerance.
 
@@ -78,6 +79,12 @@ class Testbed:
         catalog reuse in the Scheduler.  Also off by default;
         tests/test_perf_equivalence.py proves enabling it changes only
         simulated latencies.
+
+        ``profile=True`` attaches a
+        :class:`repro.obs.WallClockProfiler` (``self.prof``) measuring
+        the *host* CPU cost of the run by subsystem stage; it reads only
+        the wall clock and never the simulation, so simulated results
+        stay byte-identical (benchmarks/bench_wallclock.py asserts it).
         """
         if n_machines < 1:
             raise ValueError("a grid needs at least one machine")
@@ -92,6 +99,17 @@ class Testbed:
             from repro.obs import Observability
 
             self.obs = Observability(self.env).attach(self.network)
+        # Opt-in wall-clock profiler (docs/observability.md): attributes
+        # host CPU time to subsystem stages.  Attached per-testbed (never
+        # a module global) so differential two-testbed runs in one
+        # process can profile one side without contaminating the other.
+        self.prof = None
+        if profile:
+            from repro.obs import WallClockProfiler
+
+            self.prof = WallClockProfiler()
+            self.env.prof = self.prof
+            self.network.prof = self.prof
         self.rng = np.random.default_rng(seed)
         self.ca = CertificateAuthority()
         self.programs = ProgramRegistry()

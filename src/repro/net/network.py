@@ -104,6 +104,9 @@ class Network:
         #: attached repro.obs.Observability, or None = observation off
         #: (every instrumentation site guards on this being non-None)
         self.obs: Optional[Any] = None
+        #: attached repro.obs.WallClockProfiler, or None = profiling off
+        #: (same None-check contract as obs; see docs/observability.md)
+        self.prof: Optional[Any] = None
 
     def inject_faults(
         self,
@@ -239,13 +242,30 @@ class Network:
     ):
         """Request/response exchange; returns the response text.
 
-        A coroutine (``yield from`` it, or wrap with ``env.process``).
-        Raises :class:`DeliveryError` if the destination is unreachable or
-        nothing listens on the port.  Server-side exceptions propagate to
-        the caller (the SOAP layer above converts them to faults first).
-        *message_id* (the envelope's WS-Addressing MessageID, when the
-        caller has one) correlates the network span with the sender's.
+        Returns a coroutine (``yield from`` it, or wrap with
+        ``env.process``).  Raises :class:`DeliveryError` if the
+        destination is unreachable or nothing listens on the port.
+        Server-side exceptions propagate to the caller (the SOAP layer
+        above converts them to faults first).  *message_id* (the
+        envelope's WS-Addressing MessageID, when the caller has one)
+        correlates the network span with the sender's.
         """
+        gen = self._request_impl(src_host, url, payload, category, message_id)
+        prof = self.prof
+        if prof is None:
+            # Hand back the impl generator itself: the disabled path adds
+            # no wrapper frame and no per-resumption work.
+            return gen
+        return prof.wrap("net.request", gen)
+
+    def _request_impl(
+        self,
+        src_host: str,
+        url: str,
+        payload: str,
+        category: str,
+        message_id: Optional[str],
+    ):
         uri = Uri.parse(url)
         if not uri.is_network:
             raise DeliveryError(f"cannot route non-network URI {url!r}")
@@ -361,11 +381,25 @@ class Network:
     ):
         """Fire-and-forget message: returns once the payload is delivered.
 
-        The paper's one-way message "closes the connection immediately
-        after sending"; the sender does not wait for the handler to run,
-        so handler exceptions do NOT propagate (they end the handler's
-        own process).
+        Returns a coroutine.  The paper's one-way message "closes the
+        connection immediately after sending"; the sender does not wait
+        for the handler to run, so handler exceptions do NOT propagate
+        (they end the handler's own process).
         """
+        gen = self._send_one_way_impl(src_host, url, payload, category, message_id)
+        prof = self.prof
+        if prof is None:
+            return gen
+        return prof.wrap("net.oneway", gen)
+
+    def _send_one_way_impl(
+        self,
+        src_host: str,
+        url: str,
+        payload: str,
+        category: str,
+        message_id: Optional[str],
+    ):
         uri = Uri.parse(url)
         if not uri.is_network:
             raise DeliveryError(f"cannot route non-network URI {url!r}")
@@ -427,7 +461,10 @@ class Network:
                     if span is not None:
                         obs.spans.finish_subtree(span)
 
-            self.env.process(_deliver())
+            prof = self.prof
+            self.env.process(
+                _deliver() if prof is None else prof.wrap("net.oneway", _deliver())
+            )
             handed_off = True
             return None
         finally:

@@ -18,11 +18,14 @@ from repro.obs.core import Observability, obs_of
 from repro.obs.dashboard import (
     load_snapshot,
     render_dashboard,
+    render_event_tail,
     render_metric_tables,
     render_pipeline_breakdown,
+    render_profile,
     render_slowest_spans,
     render_trace,
 )
+from repro.obs.eventlog import ObsEventLog, parse_jsonl
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,23 +33,30 @@ from repro.obs.metrics import (
     MetricsRegistry,
     format_metric_name,
 )
+from repro.obs.prof import PROFILE_STAGES, WallClockProfiler
 from repro.obs.spans import METRIC_LABELS, Span, SpanRecorder
 
 __all__ = [
     "METRIC_LABELS",
+    "PROFILE_STAGES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ObsEventLog",
     "Observability",
     "Span",
     "SpanRecorder",
+    "WallClockProfiler",
     "format_metric_name",
     "load_snapshot",
     "obs_of",
+    "parse_jsonl",
     "render_dashboard",
+    "render_event_tail",
     "render_metric_tables",
     "render_pipeline_breakdown",
+    "render_profile",
     "render_slowest_spans",
     "render_trace",
 ]

@@ -1,12 +1,18 @@
 """``python -m repro.obs`` — the observability dashboard CLI.
 
-Two modes:
+Three modes:
 
 - default: run the seeded demo workload (a small FIG-3-style job set on
   the testbed with observability attached) and render its dashboard;
-  ``--json PATH`` additionally writes the deterministic JSON export.
+  ``--json PATH`` additionally writes the deterministic JSON export,
+  ``--events PATH`` the structured JSONL event log, and ``--profile``
+  turns on the wall-clock profiler and appends its report.
 - ``render FILE``: render a previously exported ``.json`` snapshot
   (e.g. the ``BENCH_fig3.json`` CI artifact).
+- ``tail FILE``: print the last records of a JSONL event log export.
+
+File-reading subcommands exit 2 with a one-line error on a missing or
+corrupt file (never a raw traceback).
 """
 
 from __future__ import annotations
@@ -16,11 +22,25 @@ import pathlib
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.obs.dashboard import load_snapshot, render_dashboard
+from repro.obs.dashboard import load_snapshot, render_dashboard, render_event_tail
+from repro.obs.eventlog import parse_jsonl
+
+_COMMANDS = ("demo", "render", "tail")
 
 
-def run_demo(n_machines: int = 3, n_jobs: int = 4, seed: int = 11) -> Dict[str, Any]:
-    """One seeded job-set run with observability on; returns the snapshot."""
+def run_demo(
+    n_machines: int = 3,
+    n_jobs: int = 4,
+    seed: int = 11,
+    profile: bool = False,
+    events_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One seeded job-set run with observability on; returns the snapshot.
+
+    With ``profile=True`` the wall-clock profile is attached under the
+    snapshot's ``profile`` key (host timings — the one intentionally
+    nondeterministic section; everything else stays byte-reproducible).
+    """
     # Imported lazily: the obs package itself must not depend on gridapp.
     from repro.gridapp import FileRef, JobSpec, Testbed
     from repro.osim.programs import make_compute_program
@@ -30,7 +50,10 @@ def run_demo(n_machines: int = 3, n_jobs: int = 4, seed: int = 11) -> Dict[str, 
         seed=seed,
         machine_speeds=[1.0] * n_machines,
         observability=True,
+        profile=profile,
     )
+    assert testbed.obs is not None
+    event_log = testbed.obs.enable_event_log()
     testbed.programs.register(
         make_compute_program("work", 5.0, outputs={"out": b"x"})
     )
@@ -43,15 +66,33 @@ def run_demo(n_machines: int = 3, n_jobs: int = 4, seed: int = 11) -> Dict[str, 
     if outcome != "completed":  # pragma: no cover - demo workload is fixed
         raise SystemExit(f"demo job set did not complete: {outcome!r}")
     testbed.settle()
-    assert testbed.obs is not None
-    return testbed.obs.snapshot()
+    if events_path is not None:
+        pathlib.Path(events_path).write_text(
+            event_log.to_jsonl(), encoding="utf-8"
+        )
+    snapshot = testbed.obs.snapshot()
+    if profile:
+        assert testbed.prof is not None
+        snapshot["profile"] = testbed.prof.snapshot()
+    return snapshot
+
+
+def _read_file(path: str) -> Optional[str]:
+    """File contents, or None after printing a clear error to stderr."""
+    try:
+        return pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"error: cannot read {path!r}: {reason}", file=sys.stderr)
+        return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Render the observability dashboard for a seeded demo "
-        "run, or for an exported snapshot (`render FILE`).",
+        "run, an exported snapshot (`render FILE`), or the tail of a "
+        "JSONL event log (`tail FILE`).",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -63,24 +104,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", metavar="PATH", default=None,
         help="also write the deterministic JSON export to PATH",
     )
+    demo.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="also write the structured JSONL event log to PATH",
+    )
+    demo.add_argument(
+        "--profile", action="store_true",
+        help="profile the host (wall-clock) cost and append the report",
+    )
     demo.add_argument("--top", type=int, default=10, help="slowest-span rows")
 
     render = sub.add_parser("render", help="render an exported snapshot file")
     render.add_argument("file", help="path to a JSON export")
     render.add_argument("--top", type=int, default=10, help="slowest-span rows")
 
+    tail = sub.add_parser("tail", help="show the tail of a JSONL event log")
+    tail.add_argument("file", help="path to a JSONL event-log export")
+    tail.add_argument("-n", type=int, default=20, help="events to show")
+
     raw = list(argv if argv is not None else sys.argv[1:])
-    if not raw or raw[0] not in ("demo", "render", "-h", "--help"):
+    if not raw or raw[0] not in _COMMANDS + ("-h", "--help"):
         raw = ["demo"] + raw  # demo is the default subcommand
     args = parser.parse_args(raw)
 
     if args.command == "render":
-        snapshot = load_snapshot(pathlib.Path(args.file).read_text(encoding="utf-8"))
+        text = _read_file(args.file)
+        if text is None:
+            return 2
+        try:
+            snapshot = load_snapshot(text)
+        except ValueError as exc:
+            print(
+                f"error: {args.file!r} is not an observability export: {exc}",
+                file=sys.stderr,
+            )
+            return 2
         print(render_dashboard(snapshot, top=args.top))
         return 0
 
-    snapshot = run_demo(n_machines=args.machines, n_jobs=args.jobs, seed=args.seed)
+    if args.command == "tail":
+        text = _read_file(args.file)
+        if text is None:
+            return 2
+        try:
+            events = parse_jsonl(text)
+        except ValueError as exc:
+            print(
+                f"error: {args.file!r} is not a JSONL event log: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_event_tail(events, n=args.n))
+        return 0
+
+    snapshot = run_demo(
+        n_machines=args.machines,
+        n_jobs=args.jobs,
+        seed=args.seed,
+        profile=args.profile,
+        events_path=args.events,
+    )
     print(render_dashboard(snapshot, top=args.top))
+    if args.events is not None:
+        print(f"\nwrote JSONL event log: {args.events}")
     if args.json is not None:
         import json
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Set
 
+from repro.obs.eventlog import ObsEventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span, SpanRecorder
 
@@ -47,10 +48,24 @@ class Observability:
         self.env = env
         self.registry = MetricsRegistry()
         self.spans = SpanRecorder(env, self.registry)
+        #: structured JSONL event log, None until enable_event_log()
+        self.events: Optional[ObsEventLog] = None
         self._networks: List["Network"] = []
         self._wrappers: List[Any] = []
 
     # -- wiring ----------------------------------------------------------------
+
+    def enable_event_log(self) -> ObsEventLog:
+        """Mirror span lifecycle into a structured JSONL event log.
+
+        Idempotent; returns the log.  Driven by simulated time only, so
+        enabling it never changes a run's results or its JSON export
+        (the log is a separate artifact, not part of snapshot()).
+        """
+        if self.events is None:
+            self.events = ObsEventLog(self.env)
+            self.spans.event_log = self.events
+        return self.events
 
     def attach(self, network: "Network") -> "Observability":
         """Make *network* observed: sets ``network.obs`` to self."""

@@ -1,0 +1,74 @@
+"""Structured JSONL event log over the simulated clock.
+
+Spans answer "how long did this hop take"; the event log answers "what
+happened, in order".  Every record is one JSON object on one line with
+a *deterministic field ordering* — the fixed prefix ``seq``, ``t``
+(simulated seconds), ``kind``, followed by the payload fields in sorted
+key order — so identical seeded runs emit byte-identical logs and CI
+can diff them.
+
+The log is driven entirely by simulated-time lifecycle (span opens and
+closes, plus whatever callers ``emit``), never the wall clock, so
+enabling it cannot perturb a run.  Read one back with
+``python -m repro.obs tail FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Environment
+
+#: every record starts with exactly these fields, in this order
+FIXED_FIELDS = ("seq", "t", "kind")
+
+
+class ObsEventLog:
+    """Append-only, deterministic structured event log for one sim."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.events: List[Dict[str, Any]] = []
+        self._seq = 0
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; payload fields are stored in sorted order."""
+        for reserved in FIXED_FIELDS:
+            if reserved in fields:
+                raise ValueError(f"field {reserved!r} is reserved")
+        self._seq += 1
+        event: Dict[str, Any] = {"seq": self._seq, "t": self.env.now, "kind": kind}
+        for key in sorted(fields):
+            event[key] = fields[key]
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line; insertion order preserves the
+        deterministic field ordering (no ``sort_keys`` — ``seq``/``t``/
+        ``kind`` lead every record by construction)."""
+        return "".join(json.dumps(event) + "\n" for event in self.events)
+
+
+def parse_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL export back into event dicts.
+
+    Raises ValueError naming the first offending line on corrupt input.
+    """
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON ({exc.msg})") from None
+        if not isinstance(event, dict) or "kind" not in event:
+            raise ValueError(f"line {lineno}: not an event record (no 'kind')")
+        events.append(event)
+    return events

@@ -1,0 +1,268 @@
+"""Wall-clock profiling of the simulator's own host CPU cost.
+
+The rest of ``repro.obs`` observes *simulated* time.  This module
+measures the *real* time the host spends running a scenario, attributed
+to the same subsystem-stage taxonomy the span layer uses — so a
+simulated-time span breakdown and a wall-clock profile can be joined by
+stage name in one report.  This is the measurement layer the ROADMAP's
+"make the simulator itself fast" work is judged against: events/sec is
+what caps how large a Fig. 3-style scenario we can afford to simulate.
+
+Attribution model: the simulation is single-threaded and every bit of
+host work happens synchronously inside exactly one ``Environment.step``
+call, so a stack of open regions is a correct profiler.  ``enter``
+charges the elapsed time since the previous mark to the innermost open
+region and pushes; ``exit`` charges and pops.  Self time is kept per
+*path* (the tuple of open stage names), so the snapshot can render both
+a flame-style top-down tree and a flat per-stage self/cumulative table.
+
+Simulation coroutines suspend and interleave, so bracketing a whole
+generator with enter/exit would misattribute other processes' work to
+it.  :meth:`WallClockProfiler.wrap` solves this: it re-enters the stage
+on every resumption and exits on every suspension, charging only the
+host time the wrapped generator itself burns between yields.
+
+Disabled (the default), the profiler costs nothing: every site guards
+on ``prof is None`` exactly like the ``network.obs`` pattern, and the
+generator-heavy hot paths return their inner generator *unwrapped* —
+no extra frame, no extra work.  Enabled, it reads the wall clock but
+never touches the simulation (no events, no ``env`` access), so
+simulated results stay byte-identical (asserted by
+``benchmarks/bench_wallclock.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Tuple
+
+#: the stage names the instrumentation sites use, in pipeline order;
+#: shared with the simulated-time span taxonomy (docs/observability.md)
+PROFILE_STAGES = (
+    "sim.dispatch",    # Environment.step callback dispatch (the root)
+    "net.request",     # Network.request coroutine (repro.net)
+    "net.oneway",      # Network.send_one_way + detached delivery
+    "wsrf.dispatch",   # WrapperService.handle_soap (repro.wsrf)
+    "soap.encode",     # SoapEnvelope.serialize (repro.soap/repro.xmlx)
+    "soap.parse",      # SoapEnvelope.deserialize
+    "db.load",         # resource-store point loads (repro.db)
+    "db.save",         # resource-store saves
+    "wsn.publish",     # notification fan-out (repro.wsn)
+)
+
+#: bump when the snapshot shape changes
+PROFILE_FORMAT = 1
+
+
+def _default_clock() -> float:
+    # The one sanctioned wall-clock read in the tree: wsrfcheck DET001
+    # allowlists this file (profiling real time is this module's job);
+    # everywhere else perf_counter is still flagged.
+    return time.perf_counter()
+
+
+class _Node:
+    """Accumulated cost of one stage *path* (a stack of stage names)."""
+
+    __slots__ = ("calls", "self_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.self_s = 0.0
+
+
+class WallClockProfiler:
+    """Stack-based wall-clock profiler over the shared stage taxonomy.
+
+    Construct one per testbed (``Testbed(profile=True)`` does) and hang
+    it on ``env.prof`` / ``network.prof``; instrumentation sites guard
+    on it being non-None.  *clock* is injectable for deterministic unit
+    tests; it defaults to ``time.perf_counter``.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock: Callable[[], float] = clock or _default_clock
+        self._stack: List[str] = []
+        self._path: Tuple[str, ...] = ()
+        self._nodes: Dict[Tuple[str, ...], _Node] = {}
+        self._last_mark: Optional[float] = None
+        self._first_mark: Optional[float] = None
+        self._last_seen = 0.0
+
+    # -- recording -------------------------------------------------------------
+
+    def _mark(self) -> None:
+        """Charge time since the previous mark to the innermost region."""
+        now = self._clock()
+        if self._first_mark is None:
+            self._first_mark = now
+        elif self._stack and self._last_mark is not None:
+            self._nodes[self._path].self_s += now - self._last_mark
+        self._last_mark = now
+        self._last_seen = now
+
+    def enter(self, stage: str) -> None:
+        """Open *stage* nested under the current innermost region."""
+        self._mark()
+        self._stack.append(stage)
+        self._path = self._path + (stage,)
+        node = self._nodes.get(self._path)
+        if node is None:
+            node = self._nodes[self._path] = _Node()
+        node.calls += 1
+
+    def exit(self) -> None:
+        """Close the innermost region, charging it the elapsed time."""
+        if not self._stack:
+            raise ValueError("profiler exit() with no open region")
+        self._mark()
+        self._stack.pop()
+        self._path = self._path[:-1]
+
+    @contextmanager
+    def region(self, stage: str) -> Iterator[None]:
+        """``with prof.region("soap.encode"): ...`` around synchronous work."""
+        self.enter(stage)
+        try:
+            yield
+        finally:
+            self.exit()
+
+    def wrap(
+        self, stage: str, gen: Generator[Any, Any, Any]
+    ) -> Generator[Any, Any, Any]:
+        """Delegate to *gen*, bracketing every resumption with *stage*.
+
+        Each ``send``/``throw`` into the wrapper re-enters the stage and
+        exits when the inner generator suspends again, so interleaved
+        processes never get charged each other's time.  Thrown-in
+        exceptions (``Interrupt``, ``GeneratorExit`` from ``close()``)
+        are forwarded to the inner generator; its return value is the
+        wrapper's return value.
+        """
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        while True:
+            self.enter(stage)
+            try:
+                if throw_exc is not None:
+                    exc, throw_exc = throw_exc, None
+                    item = gen.throw(exc)
+                else:
+                    item = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            finally:
+                self.exit()
+            try:
+                send_value = yield item
+            except BaseException as exc:  # kill/interrupt: forward inward
+                send_value = None
+                throw_exc = exc
+
+    def reset(self) -> None:
+        """Discard all recorded data (keeps the clock)."""
+        self._stack = []
+        self._path = ()
+        self._nodes = {}
+        self._last_mark = None
+        self._first_mark = None
+        self._last_seen = 0.0
+
+    # -- reporting -------------------------------------------------------------
+
+    def busy_s(self) -> float:
+        """Total wall-clock time attributed to any region."""
+        return sum(node.self_s for node in self._nodes.values())
+
+    def wall_s(self) -> float:
+        """Wall-clock span from the first mark to the last."""
+        if self._first_mark is None:
+            return 0.0
+        return self._last_seen - self._first_mark
+
+    def stage_calls(self, stage: str) -> int:
+        """Total times *stage* was entered, over every path."""
+        return sum(
+            node.calls for path, node in self._nodes.items() if path[-1] == stage
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready profile: meta, counters, meters, stage table, tree.
+
+        ``stages`` is the flat self/cumulative table: per stage, *self*
+        sums the paths ending in it and *cum* sums every path containing
+        it (each path counted once, so recursion cannot double-count).
+        ``tree`` is the flame-style top-down aggregation in path order.
+        ``meters`` are throughput rates against busy time — the host
+        seconds actually attributed to the instrumented subsystems.
+        """
+        busy = self.busy_s()
+        nodes = self._nodes
+
+        tree: List[Dict[str, Any]] = []
+        for path in sorted(nodes):
+            node = nodes[path]
+            cum = sum(
+                other.self_s
+                for other_path, other in nodes.items()
+                if other_path[: len(path)] == path
+            )
+            tree.append(
+                {
+                    "path": list(path),
+                    "calls": node.calls,
+                    "self_s": node.self_s,
+                    "cum_s": cum,
+                }
+            )
+
+        stages: List[Dict[str, Any]] = []
+        for stage in sorted({path[-1] for path in nodes}):
+            self_s = sum(n.self_s for p, n in nodes.items() if p[-1] == stage)
+            cum_s = sum(n.self_s for p, n in nodes.items() if stage in p)
+            stages.append(
+                {
+                    "stage": stage,
+                    "calls": self.stage_calls(stage),
+                    "self_s": self_s,
+                    "cum_s": cum_s,
+                    "self_share": (self_s / busy) if busy > 0 else 0.0,
+                }
+            )
+        stages.sort(key=lambda entry: (-float(entry["self_s"]), str(entry["stage"])))
+
+        counters = {
+            "events": self.stage_calls("sim.dispatch"),
+            "envelopes_encoded": self.stage_calls("soap.encode"),
+            "envelopes_parsed": self.stage_calls("soap.parse"),
+            "store_loads": self.stage_calls("db.load"),
+            "store_saves": self.stage_calls("db.save"),
+        }
+
+        def rate(count: int) -> float:
+            return (count / busy) if busy > 0 else 0.0
+
+        meters = {
+            "events_per_s": rate(counters["events"]),
+            "envelopes_per_s": rate(
+                counters["envelopes_encoded"] + counters["envelopes_parsed"]
+            ),
+            "store_ops_per_s": rate(
+                counters["store_loads"] + counters["store_saves"]
+            ),
+        }
+
+        return {
+            "meta": {
+                "format": PROFILE_FORMAT,
+                "wall_s": self.wall_s(),
+                "busy_s": busy,
+                "open_regions": len(self._stack),
+            },
+            "counters": counters,
+            "meters": meters,
+            "stages": stages,
+            "tree": tree,
+        }

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.eventlog import ObsEventLog
     from repro.obs.metrics import MetricsRegistry
     from repro.sim import Environment
 
@@ -82,6 +83,8 @@ class SpanRecorder:
         #: innermost-last stacks of OPEN spans, keyed by message id
         self._open_by_message: Dict[str, List[Span]] = {}
         self._next_id = 1
+        #: optional structured event log mirroring span lifecycle
+        self.event_log: Optional["ObsEventLog"] = None
 
     # -- recording -------------------------------------------------------------
 
@@ -118,6 +121,10 @@ class SpanRecorder:
         self._by_id[span.span_id] = span
         if message_id is not None:
             self._open_by_message.setdefault(message_id, []).append(span)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "span.start", span=span.span_id, name=name, parent=span.parent_id
+            )
         return span
 
     def finish(self, span: Span) -> None:
@@ -136,6 +143,13 @@ class SpanRecorder:
                 key: str(span.attrs[key]) for key in METRIC_LABELS if key in span.attrs
             }
             self.registry.observe(f"{span.name}_s", span.end - span.start, **labels)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "span.finish",
+                span=span.span_id,
+                name=span.name,
+                dur=span.end - span.start,
+            )
 
     def finish_subtree(self, root: Span) -> None:
         """Close *root* and any still-open owned descendants.

@@ -141,6 +141,9 @@ class Environment:
         self._heap: list = []
         self._seq = 0
         self._active_process = None
+        #: attached repro.obs.WallClockProfiler, or None = profiling off
+        #: (step() then does a single None check, nothing else)
+        self.prof: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -191,7 +194,18 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
-        event._run_callbacks()
+        prof = self.prof
+        if prof is None:
+            event._run_callbacks()
+        else:
+            # Every bit of host work in a run happens synchronously
+            # inside exactly one step() — this region is the profile's
+            # root and its call count is the events/sec numerator.
+            prof.enter("sim.dispatch")
+            try:
+                event._run_callbacks()
+            finally:
+                prof.exit()
         if not event._ok and not event._defused:
             exc = event._value
             raise exc

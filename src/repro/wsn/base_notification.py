@@ -258,6 +258,16 @@ class NotificationProducer:
         wsnt:Notify sent by a detached simulation process (the publisher
         does not block on consumers, per §4.1's one-way semantics).
         """
+        prof = getattr(self.wrapper.machine.network, "prof", None)
+        if prof is None:
+            return self._publish_impl(topic_path, payload, parent_span)
+        # Synchronous fan-out work (matching, per-subscriber deep copies,
+        # dispatch process spawns); the sends themselves are profiled as
+        # net.oneway by their own detached processes.
+        with prof.region("wsn.publish"):
+            return self._publish_impl(topic_path, payload, parent_span)
+
+    def _publish_impl(self, topic_path: str, payload: Element, parent_span=None) -> int:
         wrapper = self.wrapper
         if topic_path not in self.topics_seen:
             if len(self.topics_seen) < self._topics_cap:

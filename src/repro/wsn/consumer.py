@@ -64,7 +64,12 @@ class NotificationListener:
     # -- network server protocol -----------------------------------------------------
 
     def handle(self, payload: str, ctx):
-        envelope = SoapEnvelope.deserialize(payload)
+        prof = getattr(self.network, "prof", None)
+        if prof is None:
+            envelope = SoapEnvelope.deserialize(payload)
+        else:
+            with prof.region("soap.parse"):
+                envelope = SoapEnvelope.deserialize(payload)
         if envelope.body.tag != NOTIFY:
             raise ValueError(
                 f"notification listener received non-Notify {envelope.body.tag}"

@@ -96,7 +96,12 @@ class WsrfClient:
             action = f"{body.tag.uri}/{body.tag.local}"
         headers = AddressingHeaders(to_epr=epr, action=action, reply_to=reply_to)
         envelope = SoapEnvelope(headers, body, extra_headers=extra_headers)
-        raw = envelope.serialize()
+        prof = getattr(self.network, "prof", None)
+        if prof is None:
+            raw = envelope.serialize()
+        else:
+            with prof.region("soap.encode"):
+                raw = envelope.serialize()
         mid = headers.message_id
         obs = getattr(self.network, "obs", None)
         span = None
@@ -135,7 +140,11 @@ class WsrfClient:
                     rng=self._rng,
                     on_retry=self._count_retry,
                 )
-            response = SoapEnvelope.deserialize(response_raw)
+            if prof is None:
+                response = SoapEnvelope.deserialize(response_raw)
+            else:
+                with prof.region("soap.parse"):
+                    response = SoapEnvelope.deserialize(response_raw)
             payload = response.body
             if SoapFault.is_fault(payload):
                 fault = SoapFault.from_element(payload)

@@ -323,9 +323,23 @@ class WrapperService:
     # -- the dispatch pipeline ---------------------------------------------------------------
 
     def handle_soap(self, payload: str, delivery, pool=None):
-        """IIS-facing entry point (a simulation coroutine)."""
+        """IIS-facing entry point; returns a simulation coroutine."""
+        gen = self._handle_soap_impl(payload, delivery, pool)
+        prof = getattr(self.machine.network, "prof", None)
+        if prof is None:
+            # Disabled profiling hands back the impl generator directly
+            # (no wrapper frame — the obs None-check contract).
+            return gen
+        return prof.wrap("wsrf.dispatch", gen)
+
+    def _handle_soap_impl(self, payload: str, delivery, pool=None):
         self.invocations += 1
-        envelope = SoapEnvelope.deserialize(payload)
+        prof = getattr(self.machine.network, "prof", None)
+        if prof is None:
+            envelope = SoapEnvelope.deserialize(payload)
+        else:
+            with prof.region("soap.parse"):
+                envelope = SoapEnvelope.deserialize(payload)
         rid = envelope.addressing.to_epr.get(RESOURCE_ID)
         obs = getattr(self.machine.network, "obs", None)
         span = None
@@ -369,7 +383,11 @@ class WrapperService:
             action=envelope.action + "Response",
             relates_to=envelope.addressing.message_id,
         )
-        return SoapEnvelope(headers, response_body).serialize()
+        response = SoapEnvelope(headers, response_body)
+        if prof is None:
+            return response.serialize()
+        with prof.region("soap.encode"):
+            return response.serialize()
 
     def _charge_pending_db(self):
         # Resource create/destroy from author code is synchronous; the DB
@@ -382,6 +400,7 @@ class WrapperService:
         body = envelope.body
         tag = body.tag
         self._pending_db_ops = 0
+        prof = getattr(self.machine.network, "prof", None)
         obs = getattr(self.machine.network, "obs", None) if span is not None else None
         if obs is not None:
             # EPR resolution (reading ResourceID out of the headers) costs
@@ -467,7 +486,11 @@ class WrapperService:
                 else:
                     yield self.machine.db_delay()
                 try:
-                    state_before = self.store.load(self.service_name, rid)
+                    if prof is None:
+                        state_before = self.store.load(self.service_name, rid)
+                    else:
+                        with prof.region("db.load"):
+                            state_before = self.store.load(self.service_name, rid)
                 except NoSuchResource:
                     raise ResourceUnknownFault(
                         description=f"no resource {rid!r} at {self.address}",
@@ -529,7 +552,11 @@ class WrapperService:
                 )
             if state_after is not None:
                 yield self.machine.db_delay()
-                self.store.save(self.service_name, rid, state_after)
+                if prof is None:
+                    self.store.save(self.service_name, rid, state_after)
+                else:
+                    with prof.region("db.save"):
+                        self.store.save(self.service_name, rid, state_after)
             yield from self._charge_pending_db()
             if stage is not None:
                 obs.finish(stage)

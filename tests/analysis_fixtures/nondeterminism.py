@@ -17,6 +17,11 @@ def wall_clock_datetime():
     return datetime.now()
 
 
+def wall_clock_perf_counter():
+    # DET001: the host timer family is only allowlisted in obs/prof.py.
+    return time.perf_counter()
+
+
 def global_rng_choice(machines):
     # DET001: process-global random state.
     return random.choice(machines)

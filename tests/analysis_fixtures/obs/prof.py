@@ -1,0 +1,20 @@
+"""DET001 allowlist fixture: this path suffix (obs/prof.py) may read
+the host timer family, but nothing else is exempted here."""
+
+import random
+import time
+
+
+def allowed_timer_read():
+    # OK: perf_counter in an allowlisted file (the profiler's job).
+    return time.perf_counter()
+
+
+def allowed_timer_read_ns():
+    # OK: the whole timer family is exempt here.
+    return time.monotonic_ns()
+
+
+def still_flagged_rng(machines):
+    # DET001: the allowlist covers timers only, not global RNG state.
+    return random.choice(machines)

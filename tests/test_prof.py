@@ -1,0 +1,501 @@
+"""Tests for the wall-clock profiler and structured event log.
+
+Three layers: unit tests of :class:`WallClockProfiler` under an
+injected deterministic clock, integration tests proving that profiling
+a full testbed run never perturbs simulated results (byte-identical
+exports), and CLI/satellite coverage — the ``tail`` subcommand, robust
+error exits, and the span-correlation edge cases.
+"""
+
+import json
+
+import pytest
+
+from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.net import Network
+from repro.obs import (
+    PROFILE_STAGES,
+    Observability,
+    ObsEventLog,
+    SpanRecorder,
+    WallClockProfiler,
+    parse_jsonl,
+    render_event_tail,
+    render_profile,
+)
+from repro.osim.programs import make_compute_program
+from repro.sim import Environment
+
+
+class FakeClock:
+    """A hand-cranked perf_counter stand-in for deterministic tests."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _stage(snapshot, name):
+    for entry in snapshot["stages"]:
+        if entry["stage"] == name:
+            return entry
+    raise AssertionError(f"no stage {name!r} in {snapshot['stages']}")
+
+
+# -- unit: attribution model --------------------------------------------------------
+
+
+class TestWallClockProfiler:
+    def test_nested_regions_split_self_and_cumulative(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+        prof.enter("a")
+        clock.advance(1.0)
+        prof.enter("b")          # 1s charged to (a,)
+        clock.advance(2.0)
+        prof.exit()              # 2s charged to (a, b)
+        clock.advance(3.0)
+        prof.exit()              # 3s charged to (a,)
+        snap = prof.snapshot()
+        a = _stage(snap, "a")
+        b = _stage(snap, "b")
+        assert a["self_s"] == pytest.approx(4.0)
+        assert a["cum_s"] == pytest.approx(6.0)
+        assert b["self_s"] == pytest.approx(2.0)
+        assert b["cum_s"] == pytest.approx(2.0)
+        assert snap["meta"]["busy_s"] == pytest.approx(6.0)
+        assert snap["meta"]["wall_s"] == pytest.approx(6.0)
+        assert snap["meta"]["open_regions"] == 0
+        assert a["self_share"] == pytest.approx(4.0 / 6.0)
+
+    def test_time_outside_regions_is_not_attributed(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+        with prof.region("a"):
+            clock.advance(1.0)
+        clock.advance(10.0)      # nothing open: unprofiled gap
+        with prof.region("a"):
+            clock.advance(2.0)
+        snap = prof.snapshot()
+        assert _stage(snap, "a")["self_s"] == pytest.approx(3.0)
+        assert snap["meta"]["busy_s"] == pytest.approx(3.0)
+        assert snap["meta"]["wall_s"] == pytest.approx(13.0)
+
+    def test_recursive_stage_counted_once_in_cumulative(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+        prof.enter("a")
+        clock.advance(1.0)
+        prof.enter("a")          # recursion: path (a, a)
+        clock.advance(2.0)
+        prof.exit()
+        prof.exit()
+        a = _stage(prof.snapshot(), "a")
+        assert a["self_s"] == pytest.approx(3.0)
+        # cum sums each path once — recursion must not double-count
+        assert a["cum_s"] == pytest.approx(3.0)
+        assert a["calls"] == 2
+
+    def test_exit_without_region_raises(self):
+        prof = WallClockProfiler(clock=FakeClock())
+        with pytest.raises(ValueError):
+            prof.exit()
+
+    def test_tree_paths_are_sorted_and_rooted(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+        with prof.region("sim.dispatch"):
+            with prof.region("net.request"):
+                clock.advance(1.0)
+            with prof.region("db.load"):
+                clock.advance(1.0)
+        paths = [tuple(entry["path"]) for entry in prof.snapshot()["tree"]]
+        assert paths == sorted(paths)
+        assert all(p[0] == "sim.dispatch" for p in paths)
+
+    def test_meters_and_counters_from_stage_calls(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+        with prof.region("sim.dispatch"):
+            clock.advance(1.0)
+            for _ in range(3):
+                with prof.region("soap.encode"):
+                    clock.advance(1.0)
+            with prof.region("soap.parse"):
+                clock.advance(0.5)
+            with prof.region("db.load"):
+                clock.advance(0.25)
+            with prof.region("db.save"):
+                clock.advance(0.25)
+        snap = prof.snapshot()
+        assert snap["counters"] == {
+            "events": 1,
+            "envelopes_encoded": 3,
+            "envelopes_parsed": 1,
+            "store_loads": 1,
+            "store_saves": 1,
+        }
+        busy = snap["meta"]["busy_s"]
+        assert busy == pytest.approx(5.0)
+        assert snap["meters"]["events_per_s"] == pytest.approx(1 / busy)
+        assert snap["meters"]["envelopes_per_s"] == pytest.approx(4 / busy)
+        assert snap["meters"]["store_ops_per_s"] == pytest.approx(2 / busy)
+
+    def test_empty_profiler_snapshot_is_safe(self):
+        snap = WallClockProfiler(clock=FakeClock()).snapshot()
+        assert snap["meta"]["busy_s"] == 0.0
+        assert snap["meters"]["events_per_s"] == 0.0
+        assert snap["stages"] == [] and snap["tree"] == []
+
+    def test_reset_discards_data(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+        with prof.region("a"):
+            clock.advance(1.0)
+        prof.reset()
+        assert prof.busy_s() == 0.0
+        assert prof.snapshot()["tree"] == []
+
+
+class TestWrap:
+    def test_wrap_charges_only_resumption_time(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+
+        def inner():
+            clock.advance(1.0)   # work during first resumption
+            yield "x"
+            clock.advance(2.0)   # work during second resumption
+            return "done"
+
+        gen = prof.wrap("net.request", inner())
+        assert next(gen) == "x"
+        clock.advance(100.0)     # suspended: someone else's time
+        with pytest.raises(StopIteration) as stop:
+            gen.send(None)
+        assert stop.value.value == "done"
+        entry = _stage(prof.snapshot(), "net.request")
+        assert entry["self_s"] == pytest.approx(3.0)
+        assert entry["calls"] == 2  # one per resumption
+
+    def test_interleaved_wrapped_generators_do_not_cross_charge(self):
+        clock = FakeClock()
+        prof = WallClockProfiler(clock=clock)
+
+        def worker(dt):
+            for _ in range(2):
+                clock.advance(dt)
+                yield None
+
+        a = prof.wrap("net.request", worker(1.0))
+        b = prof.wrap("net.oneway", worker(10.0))
+        next(a), next(b), next(a), next(b)
+        snap = prof.snapshot()
+        assert _stage(snap, "net.request")["self_s"] == pytest.approx(2.0)
+        assert _stage(snap, "net.oneway")["self_s"] == pytest.approx(20.0)
+
+    def test_wrap_forwards_thrown_exceptions(self):
+        prof = WallClockProfiler(clock=FakeClock())
+
+        def inner():
+            try:
+                yield 1
+            except KeyError:
+                return "caught"
+
+        gen = prof.wrap("wsrf.dispatch", inner())
+        next(gen)
+        with pytest.raises(StopIteration) as stop:
+            gen.throw(KeyError("boom"))
+        assert stop.value.value == "caught"
+
+    def test_wrap_survives_close(self):
+        prof = WallClockProfiler(clock=FakeClock())
+        finalized = []
+
+        def inner():
+            try:
+                yield 1
+            finally:
+                finalized.append(True)
+
+        gen = prof.wrap("wsrf.dispatch", inner())
+        next(gen)
+        gen.close()
+        assert finalized == [True]
+        # the region stack unwound cleanly
+        assert prof.snapshot()["meta"]["open_regions"] == 0
+
+    def test_wrap_propagates_inner_exception(self):
+        prof = WallClockProfiler(clock=FakeClock())
+
+        def inner():
+            yield 1
+            raise RuntimeError("inner failure")
+
+        gen = prof.wrap("wsrf.dispatch", inner())
+        next(gen)
+        with pytest.raises(RuntimeError):
+            gen.send(None)
+        assert prof.snapshot()["meta"]["open_regions"] == 0
+
+
+# -- integration: profiled testbed runs ---------------------------------------------
+
+
+def _run_jobset(profile, n_jobs=4, event_log=False):
+    tb = Testbed(n_machines=3, seed=11, machine_speeds=[1.0] * 3,
+                 observability=True, profile=profile)
+    if event_log:
+        tb.obs.enable_event_log()
+    tb.programs.register(
+        make_compute_program("work", 5.0, outputs={"out": b"x"})
+    )
+    client = tb.make_client()
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("work"))
+    for i in range(n_jobs):
+        spec.add(JobSpec(name=f"job{i}", executable=FileRef(exe, "job.exe")))
+    outcome, _, _ = tb.run_job_set(client, spec)
+    assert outcome == "completed"
+    tb.settle()
+    return tb
+
+
+@pytest.fixture(scope="module")
+def profiled_pair():
+    return _run_jobset(profile=False), _run_jobset(profile=True)
+
+
+class TestProfiledRun:
+    def test_profiling_never_perturbs_simulated_results(self, profiled_pair):
+        off, on = profiled_pair
+        assert on.obs.export_json() == off.obs.export_json()
+        assert on.env.now == off.env.now
+        assert on.network.stats.messages == off.network.stats.messages
+        assert [
+            (e.at, e.step, e.actor) for e in on.trace.events
+        ] == [(e.at, e.step, e.actor) for e in off.trace.events]
+
+    def test_profile_covers_the_stage_taxonomy(self, profiled_pair):
+        _, on = profiled_pair
+        snap = on.prof.snapshot()
+        seen = {entry["stage"] for entry in snap["stages"]}
+        assert seen <= set(PROFILE_STAGES)
+        # the workload exercises the whole pipeline
+        assert {
+            "sim.dispatch", "net.request", "net.oneway", "wsrf.dispatch",
+            "soap.encode", "soap.parse", "db.load", "db.save", "wsn.publish",
+        } <= seen
+        assert snap["meta"]["open_regions"] == 0
+        assert snap["meta"]["busy_s"] > 0
+        assert snap["meters"]["events_per_s"] > 0
+        assert snap["meters"]["envelopes_per_s"] > 0
+        assert snap["meters"]["store_ops_per_s"] > 0
+
+    def test_all_host_work_roots_under_sim_dispatch(self, profiled_pair):
+        _, on = profiled_pair
+        for entry in on.prof.snapshot()["tree"]:
+            assert entry["path"][0] == "sim.dispatch"
+
+    def test_shares_sum_to_one(self, profiled_pair):
+        _, on = profiled_pair
+        snap = on.prof.snapshot()
+        total = sum(entry["self_share"] for entry in snap["stages"])
+        assert total == pytest.approx(1.0)
+        # sim.dispatch is the root: its cum is the whole busy time
+        root = _stage(snap, "sim.dispatch")
+        assert root["cum_s"] == pytest.approx(snap["meta"]["busy_s"])
+
+    def test_envelope_counters_match_message_traffic(self, profiled_pair):
+        _, on = profiled_pair
+        counters = on.prof.snapshot()["counters"]
+        # every parsed envelope was encoded by someone in-process
+        assert counters["envelopes_parsed"] > 0
+        assert counters["envelopes_encoded"] > 0
+        assert counters["events"] > counters["envelopes_parsed"]
+
+    def test_disabled_mode_adds_no_wrapper_frames(self):
+        env = Environment()
+        net = Network(env)
+        net.add_host("a"), net.add_host("b")
+        gen = net.request("a", "http://b/x", "payload")
+        # prof off: callers get the impl generator itself, unwrapped
+        assert gen.gi_code.co_name == "_request_impl"
+        gen.close()
+        net.prof = WallClockProfiler(clock=FakeClock())
+        wrapped = net.request("a", "http://b/x", "payload")
+        assert wrapped.gi_code.co_name == "wrap"
+        wrapped.close()
+
+    def test_profile_snapshot_is_json_serializable(self, profiled_pair):
+        _, on = profiled_pair
+        text = json.dumps(on.prof.snapshot(), sort_keys=True)
+        assert "sim.dispatch" in text
+
+    def test_render_profile_sections(self, profiled_pair):
+        _, on = profiled_pair
+        report = render_profile(on.prof.snapshot())
+        assert "wall-clock profile" in report
+        assert "events/s" in report
+        assert "stage tree" in report
+        assert "wsrf.dispatch" in report
+
+
+# -- structured event log -----------------------------------------------------------
+
+
+class TestEventLog:
+    def test_field_ordering_is_deterministic(self):
+        env = Environment()
+        log = ObsEventLog(env)
+        log.emit("custom", zebra=1, alpha=2, mid=3)
+        line = log.to_jsonl().splitlines()[0]
+        event = json.loads(line)
+        assert list(event) == ["seq", "t", "kind", "alpha", "mid", "zebra"]
+        assert event["seq"] == 1 and event["kind"] == "custom"
+
+    def test_reserved_fields_rejected(self):
+        log = ObsEventLog(Environment())
+        with pytest.raises(ValueError):
+            log.emit("custom", seq=9)
+
+    def test_span_lifecycle_mirrored(self):
+        env = Environment()
+        obs = Observability(env)
+        log = obs.enable_event_log()
+        assert obs.enable_event_log() is log  # idempotent
+        span = obs.start_span("wsrf.dispatch", attrs={"service": "S"})
+        obs.finish(span)
+        kinds = [event["kind"] for event in log.events]
+        assert kinds == ["span.start", "span.finish"]
+        assert log.events[0]["span"] == span.span_id
+        assert log.events[1]["dur"] == 0.0
+
+    def test_identical_runs_emit_identical_bytes(self):
+        a = _run_jobset(profile=False, n_jobs=2, event_log=True)
+        b = _run_jobset(profile=False, n_jobs=2, event_log=True)
+        text = a.obs.events.to_jsonl()
+        assert text == b.obs.events.to_jsonl()
+        assert len(a.obs.events) > 0
+
+    def test_parse_jsonl_roundtrip_and_errors(self):
+        env = Environment()
+        log = ObsEventLog(env)
+        log.emit("one", x=1)
+        log.emit("two", y="z")
+        events = parse_jsonl(log.to_jsonl())
+        assert [event["kind"] for event in events] == ["one", "two"]
+        with pytest.raises(ValueError, match="line 1"):
+            parse_jsonl("not json\n")
+        with pytest.raises(ValueError, match="line 2"):
+            parse_jsonl('{"kind": "ok"}\n[1, 2]\n')
+
+    def test_render_event_tail(self):
+        log = ObsEventLog(Environment())
+        for i in range(30):
+            log.emit("tick", i=i)
+        report = render_event_tail(log.events, n=5)
+        assert "5 of 30" in report
+        assert "i=29" in report and "i=24" not in report
+        assert render_event_tail([], n=5).endswith("(none)")
+
+
+# -- span correlation edges (satellite) ---------------------------------------------
+
+
+class TestSpanCorrelationEdges:
+    def test_orphan_span_gets_no_parent(self):
+        rec = SpanRecorder(Environment())
+        orphan = rec.start("iis.handle", message_id="mid-without-sender")
+        assert orphan.parent_id is None
+        rec.finish(orphan)
+        assert rec.open_spans() == []
+
+    def test_closed_parent_does_not_adopt_late_spans(self):
+        rec = SpanRecorder(Environment())
+        sender = rec.start("client.invoke", message_id="m1")
+        rec.finish(sender)
+        # the sender's stack entry is gone: a late hop must not
+        # mis-parent to the finished span
+        late = rec.start("net.request", message_id="m1")
+        assert late.parent_id is None
+        rec.finish(late)
+
+    def test_out_of_order_close_degrades_gracefully(self):
+        env = Environment()
+        rec = SpanRecorder(env)
+        outer = rec.start("client.invoke", message_id="m1")
+        inner = rec.start("net.request", message_id="m1")
+        assert inner.parent_id == outer.span_id
+        # close the OUTER first (out of order)
+        rec.finish(outer)
+        # the inner span is still open, still closable, and new spans on
+        # the same message id still parent to it (the innermost OPEN one)
+        sibling = rec.start("iis.handle", message_id="m1")
+        assert sibling.parent_id == inner.span_id
+        rec.finish(sibling)
+        rec.finish(inner)
+        assert rec.open_spans() == []
+        assert all(s.duration is not None for s in rec.spans)
+
+    def test_finish_subtree_after_out_of_order_close_is_idempotent(self):
+        rec = SpanRecorder(Environment())
+        root = rec.start("wsrf.dispatch", message_id="m1")
+        child = rec.start("wsrf.dispatch.method", parent=root)
+        rec.finish(root)
+        rec.finish_subtree(root)  # must not raise, must close the child
+        assert child.finished
+        assert rec.open_spans() == []
+
+
+# -- CLI (satellite: robust errors + tail) ------------------------------------------
+
+
+class TestCliRobustness:
+    def test_render_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["render", str(tmp_path / "missing.json")]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read" in err
+        assert "Traceback" not in err
+
+    def test_render_corrupt_file_exits_2(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["render", str(bad)]) == 2
+        assert "not an observability export" in capsys.readouterr().err
+        bad.write_text('{"spans": []}', encoding="utf-8")  # valid JSON, wrong shape
+        assert main(["render", str(bad)]) == 2
+        assert "no 'metrics' key" in capsys.readouterr().err
+
+    def test_tail_missing_and_corrupt_exit_2(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["tail", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("... not jsonl ...", encoding="utf-8")
+        assert main(["tail", str(bad)]) == 2
+        assert "not a JSONL event log" in capsys.readouterr().err
+
+    def test_demo_profile_events_and_tail(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        events = tmp_path / "events.jsonl"
+        code = main(["--machines", "1", "--jobs", "1", "--profile",
+                     "--events", str(events)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "wall-clock profile" in printed
+        assert "events/s" in printed
+        assert main(["tail", str(events), "-n", "3"]) == 0
+        assert "span.finish" in capsys.readouterr().out
