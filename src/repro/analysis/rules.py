@@ -314,6 +314,45 @@ def check_fault_discipline(ctx: ModuleContext) -> Iterator[Finding]:
             )
 
 
+# -- WAL001: write-ahead ordering --------------------------------------------------
+
+
+@register_rule(
+    "WAL001",
+    "notification may outrun the db_save stage",
+    "service code must not fire_and_forget from inside a ServiceSkeleton "
+    "subclass: the message can leave the host before the state it "
+    "announces is persisted, so a crash loses the state but not the "
+    "message (docs/durability.md); route it through "
+    "wsrf.send_after_persist instead",
+)
+def check_write_ahead_ordering(ctx: ModuleContext) -> Iterator[Finding]:
+    symbols = enclosing_symbols(ctx.tree)
+    for class_node in ast.walk(ctx.tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        if class_node.name not in ctx.model.service_classes:
+            continue
+        for node in ast.walk(class_node):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node.func) != "fire_and_forget":
+                continue
+            yield Finding(
+                rule="WAL001",
+                path=ctx.path,
+                line=node.lineno,
+                symbol=symbols.get(id(node), ""),
+                message=(
+                    f"service {class_node.name} calls fire_and_forget; the "
+                    "send can overtake the dispatch pipeline's db_save "
+                    "stage, breaking the write-ahead contract — use "
+                    "self.wsrf.send_after_persist so the message leaves "
+                    "only after the acknowledged state is durable"
+                ),
+            )
+
+
 # -- DET001: nondeterminism --------------------------------------------------------
 
 _WALLCLOCK = {

@@ -18,10 +18,14 @@ saved back when it returns.  This package supplies that substrate:
 - :mod:`repro.db.cached_store` — the opt-in write-through cache the
   performance layer (``Testbed(perf=...)``) puts in front of the blob
   store; proven coherent against it in tests/test_perf_equivalence.py.
+
+Every store backend exposes ``snapshot()`` / ``restore()`` in a shared
+``{"service|resource_id": encoded-state-bytes}`` checkpoint format used
+by the host crash-restart machinery (docs/durability.md).
 """
 
 from repro.db.engine import Column, Database, DbError, Table
-from repro.db.sql import SqlError, execute_sql
+from repro.db.sql import SqlError, SqlResourceStore, execute_sql
 from repro.db.resource_store import BlobResourceStore, NoSuchResource
 from repro.db.cached_store import CachedResourceStore
 from repro.db.xmlstore import XmlResourceStore
@@ -34,6 +38,7 @@ __all__ = [
     "DbError",
     "NoSuchResource",
     "SqlError",
+    "SqlResourceStore",
     "Table",
     "XmlResourceStore",
     "execute_sql",

@@ -102,6 +102,23 @@ class CachedResourceStore:
     def list_ids(self, service: str) -> List[str]:
         return self.inner.list_ids(service)
 
+    # -- checkpoint / restore ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Checkpoint of the inner (source-of-truth) store."""
+        return self.inner.snapshot()
+
+    def restore(self, snap: Dict[str, bytes]) -> None:
+        """Restore the inner store and drop every cached blob.
+
+        The cache MUST be invalidated here: a blob cached before the
+        checkpoint describes post-checkpoint state that the restore just
+        rolled back, and serving it would resurrect vanished writes (and
+        trip ``assert_coherent``).  docs/durability.md spells this out.
+        """
+        self.inner.restore(snap)
+        self._blobs.clear()
+
     def scan_query(
         self,
         service: str,

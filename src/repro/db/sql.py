@@ -15,7 +15,7 @@ sidesteps literal-quoting entirely and keeps the parser honest.
 from __future__ import annotations
 
 import re
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.db.engine import Column, Database, DbError
 
@@ -154,3 +154,143 @@ def execute_sql(db: Database, statement: str, params: Sequence[Any] = ()) -> Any
         return table.delete(equals=equals or None)
 
     raise SqlError(f"unrecognized statement: {statement.strip()[:60]!r}")
+
+
+class SqlResourceStore:
+    """WS-Resource state store speaking only SQL — the literal "ODBC
+    compliant database" face of the paper's persistence model.
+
+    Same schema and serialized-blob design as
+    :class:`repro.db.resource_store.BlobResourceStore`, but every
+    operation goes through :func:`execute_sql` statements with ``?``
+    parameters instead of the engine's table API.  Interchangeable with
+    the other backends (see ``tests/test_store_backends.py``), including
+    the cross-backend ``snapshot()``/``restore()`` checkpoint format.
+    """
+
+    TABLE = "resources"
+
+    def __init__(self, db: Optional[Database] = None) -> None:
+        self.db = db or Database()
+        if self.TABLE not in self.db.tables:
+            execute_sql(
+                self.db,
+                f"CREATE TABLE {self.TABLE} ("
+                "rid TEXT PRIMARY KEY, service TEXT NOT NULL, "
+                "resource_id TEXT NOT NULL, state BLOB NOT NULL)",
+            )
+        #: operation counters matching the other backends
+        self.loads = 0
+        self.saves = 0
+        self.scans = 0
+
+    @staticmethod
+    def _key(service: str, resource_id: str) -> str:
+        return f"{service}|{resource_id}"
+
+    def create(self, service: str, resource_id: str, state: Dict[Any, Any]) -> None:
+        from repro.db.resource_store import encode_state
+
+        execute_sql(
+            self.db,
+            f"INSERT INTO {self.TABLE} (rid, service, resource_id, state) "
+            "VALUES (?, ?, ?, ?)",
+            [self._key(service, resource_id), service, resource_id,
+             encode_state(state)],
+        )
+        self.saves += 1
+
+    def exists(self, service: str, resource_id: str) -> bool:
+        rows = execute_sql(
+            self.db,
+            f"SELECT rid FROM {self.TABLE} WHERE rid = ?",
+            [self._key(service, resource_id)],
+        )
+        return bool(rows)
+
+    def load(self, service: str, resource_id: str) -> Dict[Any, Any]:
+        from repro.db.resource_store import NoSuchResource, decode_state
+
+        rows = execute_sql(
+            self.db,
+            f"SELECT state FROM {self.TABLE} WHERE rid = ?",
+            [self._key(service, resource_id)],
+        )
+        if not rows:
+            raise NoSuchResource(f"{service}/{resource_id}")
+        self.loads += 1
+        return decode_state(rows[0]["state"])
+
+    def save(self, service: str, resource_id: str, state: Dict[Any, Any]) -> None:
+        from repro.db.resource_store import NoSuchResource, encode_state
+
+        count = execute_sql(
+            self.db,
+            f"UPDATE {self.TABLE} SET state = ? WHERE rid = ?",
+            [encode_state(state), self._key(service, resource_id)],
+        )
+        if count == 0:
+            raise NoSuchResource(f"{service}/{resource_id}")
+        self.saves += 1
+
+    def destroy(self, service: str, resource_id: str) -> None:
+        from repro.db.resource_store import NoSuchResource
+
+        count = execute_sql(
+            self.db,
+            f"DELETE FROM {self.TABLE} WHERE rid = ?",
+            [self._key(service, resource_id)],
+        )
+        if count == 0:
+            raise NoSuchResource(f"{service}/{resource_id}")
+
+    def list_ids(self, service: str) -> List[str]:
+        rows = execute_sql(
+            self.db,
+            f"SELECT resource_id FROM {self.TABLE} WHERE service = ?",
+            [service],
+        )
+        return sorted(row["resource_id"] for row in rows)
+
+    def scan_query(
+        self,
+        service: str,
+        xpath: str,
+        namespaces: Optional[Dict[str, str]] = None,
+    ) -> List[Any]:
+        """Query every resource of *service* — deserializing each blob."""
+        from repro.xmlx import parse, xpath_select
+
+        self.scans += 1
+        rows = execute_sql(
+            self.db,
+            f"SELECT resource_id, state FROM {self.TABLE} WHERE service = ?",
+            [service],
+        )
+        out = []
+        for row in rows:
+            doc = parse(row["state"].decode("utf-8"))
+            hits = xpath_select(doc, xpath, namespaces)
+            if hits:
+                out.append((row["resource_id"], hits))
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+    # -- checkpoint / restore ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Checkpoint in the cross-backend ``{"service|rid": bytes}`` format."""
+        rows = execute_sql(self.db, f"SELECT rid, state FROM {self.TABLE}")
+        return {row["rid"]: bytes(row["state"]) for row in rows}
+
+    def restore(self, snap: Dict[str, bytes]) -> None:
+        """Replace the entire store contents with *snap*."""
+        execute_sql(self.db, f"DELETE FROM {self.TABLE}")
+        for rid in sorted(snap):
+            service, _, resource_id = rid.partition("|")
+            execute_sql(
+                self.db,
+                f"INSERT INTO {self.TABLE} (rid, service, resource_id, state) "
+                "VALUES (?, ?, ?, ?)",
+                [rid, service, resource_id, bytes(snap[rid])],
+            )

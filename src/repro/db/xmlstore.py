@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.db.resource_store import NoSuchResource, State, _STATE_TAG
 from repro.soap import from_typed_element, to_typed_element
-from repro.xmlx import Element, QName, xpath_select
+from repro.xmlx import Element, QName, parse, to_string, xpath_select
 
 
 class XmlResourceStore:
@@ -72,6 +72,26 @@ class XmlResourceStore:
 
     def list_ids(self, service: str) -> List[str]:
         return sorted(self._docs.get(service, {}))
+
+    # -- checkpoint / restore ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Checkpoint in the cross-backend ``{"service|rid": bytes}`` format."""
+        out: Dict[str, bytes] = {}
+        for service, bucket in self._docs.items():
+            for resource_id, doc in bucket.items():
+                key = f"{service}|{resource_id}"
+                out[key] = to_string(doc).encode("utf-8")
+        return out
+
+    def restore(self, snap: Dict[str, bytes]) -> None:
+        """Replace the entire store contents with *snap*."""
+        self._docs = {}
+        for key in sorted(snap):
+            service, _, resource_id = key.partition("|")
+            self._docs.setdefault(service, {})[resource_id] = parse(
+                snap[key].decode("utf-8")
+            )
 
     def scan_query(
         self,

@@ -22,7 +22,7 @@ from repro.gridapp import tracing
 from repro.osim import SpawnError
 from repro.osim.cpu import ProcessState
 from repro.wsa import EndpointReference
-from repro.wsn.base_notification import build_notify_body, fire_and_forget
+from repro.wsn.base_notification import build_notify_body
 from repro.wsrf.attributes import (
     Resource,
     ResourceProperty,
@@ -235,17 +235,50 @@ class ExecutionService(ServiceSkeleton):
             if process is not None and process.is_running:
                 process.kill()
 
+    @classmethod
+    def wsrf_recover(cls, wrapper) -> None:
+        """After a crash, non-terminal jobs are lost: their processes and
+        staged files died with the machine, and no watcher survives to
+        record an exit.  Forget them so the Scheduler's next Status probe
+        gets ResourceUnknownFault and re-dispatches.  Terminal jobs keep
+        their resources — GetExitCode and output fetches still work.
+        """
+        machine = wrapper.machine
+        status_key = _k("status")
+        pid_key = _k("pid")
+        for rid in list(wrapper.store.list_ids(wrapper.service_name)):
+            state = wrapper.store.load(wrapper.service_name, rid)
+            if status_key not in state:
+                continue
+            if state.get(status_key) in ("Exited", "Killed", "Failed"):
+                continue
+            pid = state.get(pid_key)
+            if pid is not None:
+                process = machine.procspawn.find(pid)
+                if process is not None and process.is_running:
+                    process.kill()
+            wrapper.destroy_resource(rid)
+
     # -- internals ---------------------------------------------------------------------
 
     def _broadcast(self, topic_path: str, payload: Element) -> None:
-        """Send one Notify to the broker (which multicasts, step 9)."""
+        """Send one Notify to the broker (which multicasts, step 9).
+
+        Honors the write-ahead contract (WAL001): sent through the
+        invocation's outbox, the event leaves this host only after the
+        db_save stage persists the state change it announces (a
+        ``JobStarted`` must never outlive a crash that erased the
+        ``Running`` status it reported).  From the detached process
+        watcher the invocation is already closed and its own save done,
+        so the send fires immediately.
+        """
         wrapper = self.wsrf.wrapper
         broker_epr = getattr(wrapper, "broker_epr", None)
         if broker_epr is None:
             return  # testbed without a broker: events are dropped
         tracing.record(self.machine, 9, f"ES@{self.machine.name}", topic_path)
         body = build_notify_body(topic_path, payload, wrapper.service_epr())
-        fire_and_forget(self.env, wrapper.client, broker_epr, body)
+        self.wsrf.send_after_persist(broker_epr, body)
 
     def _watch_process(self, rid: str, process) -> None:
         """Detached watcher: on exit, persist the outcome and broadcast.
@@ -256,15 +289,27 @@ class ExecutionService(ServiceSkeleton):
         wrapper = self.wsrf.wrapper
         machine = self.machine
         env = self.env
+        host = getattr(machine, "host", None)
+        epoch = getattr(host, "boot_epoch", 0)
+
+        def stale() -> bool:
+            # The watcher belongs to this boot of the machine: once the
+            # host crashes, its observation dies unpersisted — recovery
+            # (wsrf_recover) re-dispatches the job instead.
+            return host is not None and (
+                host.down or getattr(host, "boot_epoch", 0) != epoch
+            )
 
         def watcher(env):
             code = yield process.done
+            if stale():
+                return
             tracing.record(machine, 10, f"ProcSpawn@{machine.name}",
                            f"{rid} exited {code}")
             lock = wrapper.resource_lock(rid)
             yield lock.acquire()
             try:
-                if not wrapper.store.exists(wrapper.service_name, rid):
+                if stale() or not wrapper.store.exists(wrapper.service_name, rid):
                     return  # job resource destroyed while running
                 yield machine.db_delay()
                 state = wrapper.store.load(wrapper.service_name, rid)
@@ -273,9 +318,14 @@ class ExecutionService(ServiceSkeleton):
                 )
                 state[_k("exit_code")] = code
                 yield machine.db_delay()
+                if stale():
+                    return  # crashed between observing and persisting
                 wrapper.store.save(wrapper.service_name, rid, state)
             finally:
                 lock.release()
+            # The outcome is persisted; the broadcast may follow (the
+            # write-ahead ordering, done manually by this detached
+            # process since it runs outside any invocation).
             topic = state[_k("topic")]
             job_name = state[_k("job_name")]
             self._broadcast(

@@ -29,7 +29,6 @@ from repro.net import DeliveryError
 from repro.wsn.base_notification import (
     NotificationConsumerPortType,
     build_subscribe_body,
-    fire_and_forget,
 )
 from repro.wsn.topics import FULL_DIALECT
 from repro.wsrf.attributes import (
@@ -645,10 +644,9 @@ class SchedulerService(ServiceSkeleton):
         body = build_notify_body(
             f"{self.topic}/recovery", payload, wrapper.service_epr()
         )
-        fire_and_forget(
-            self.env, wrapper.client, broker_epr, body,
-            parent_span=getattr(self.wsrf, "span", None),
-        )
+        # Write-ahead contract (WAL001): the recovery bookkeeping this
+        # event describes must be persisted before the event leaves.
+        self.wsrf.send_after_persist(broker_epr, body)
 
     def _resolve(self, ref: FileRef, job_name: str, name_map) -> Dict:
         """Turn a FileRef into the paper's {EPR, filename, jobname} tuple."""
@@ -700,7 +698,67 @@ class SchedulerService(ServiceSkeleton):
         body = build_notify_body(
             f"{self.topic}/{outcome}", payload, wrapper.service_epr()
         )
-        fire_and_forget(self.env, wrapper.client, broker_epr, body)
+        # Write-ahead contract (WAL001): the terminal status must be on
+        # disk before the fabric hears about it.
+        self.wsrf.send_after_persist(broker_epr, body)
+
+    # -- crash recovery ------------------------------------------------------------------
+
+    @classmethod
+    def wsrf_recover(cls, wrapper) -> None:
+        """Re-adopt in-flight job sets after the scheduler host bounced.
+
+        Everything needed to resume is in the store: for each job set
+        still ``Running`` at the checkpoint, restart its watchdog (the
+        old boot's detached processes are gone) and nudge a scheduling
+        pass via the usual one-way Activate self-message, which runs
+        under the resource lock and re-dispatches anything pending.
+        Jobs the dead boot had dispatched stay dispatched — the watchdog
+        probes them and synthesizes or re-dispatches as usual, so no
+        completed work is redone just because the coordinator blinked.
+        """
+        status_key = QName(UVA, "status")
+        topic_key = QName(UVA, "topic")
+        seq = getattr(wrapper, "_jobset_seq", 0)
+        ft = getattr(wrapper, "fault_tolerance", None)
+        readopted = 0
+        for rid in wrapper.store.list_ids(wrapper.service_name):
+            state = wrapper.store.load(wrapper.service_name, rid)
+            topic = state.get(topic_key, "")
+            # The topic sequence is derived state: recover the high-water
+            # mark so post-restart submissions get fresh topics.
+            if isinstance(topic, str) and topic.startswith("jobset-"):
+                try:
+                    seq = max(seq, int(topic[len("jobset-"):]))
+                except ValueError:
+                    pass
+            if state.get(status_key) != "Running":
+                continue
+            readopted += 1
+            jobset_epr = wrapper.epr_for(rid)
+            if ft is not None:
+                _start_watchdog(wrapper, rid, jobset_epr, ft)
+            _nudge_scheduling_pass(wrapper, jobset_epr)
+        wrapper._jobset_seq = seq
+        if readopted:
+            #: created lazily so default obs exports stay byte-identical
+            wrapper.jobsets_readopted = (
+                getattr(wrapper, "jobsets_readopted", 0) + readopted
+            )
+
+
+def _nudge_scheduling_pass(wrapper, jobset_epr):
+    """Detached one-way Activate: kick a re-adopted job set's scheduling."""
+
+    def nudge(env):
+        try:
+            yield from wrapper.client.call(
+                jobset_epr, UVA, "Activate", category="scheduler", one_way=True
+            )
+        except Exception:
+            pass  # the watchdog self-heals a lost nudge
+
+    return wrapper.env.process(nudge(wrapper.env))
 
 
 def _start_watchdog(wrapper, rid: str, jobset_epr, ft: FaultToleranceConfig):
@@ -715,10 +773,16 @@ def _start_watchdog(wrapper, rid: str, jobset_epr, ft: FaultToleranceConfig):
     """
     env = wrapper.env
     status_key = QName(UVA, "status")
+    host = getattr(wrapper.machine, "host", None)
+    epoch = getattr(host, "boot_epoch", 0)
 
     def loop(env):
         while True:
             yield env.timeout(ft.watchdog_period)
+            if host is not None and getattr(host, "boot_epoch", 0) != epoch:
+                # This watchdog belongs to a dead boot; wsrf_recover
+                # started a replacement, so exit instead of double-probing.
+                return
             try:
                 state = wrapper.store.load(wrapper.service_name, rid)
             except Exception:

@@ -293,3 +293,50 @@ class Testbed:
         time advance, not a drain.
         """
         self.env.run(until=self.env.now + extra_time)
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def restart_host(self, name: str, at: Optional[float] = None,
+                     down_for: float = 5.0):
+        """Schedule a crash-restart of machine *name* (docs/durability.md).
+
+        At time *at* (immediately if None/past) the host's durable state
+        is checkpointed — what its disks hold at the instant of the power
+        cut — and the host goes down: requests and replies in flight die
+        with ``DeliveryError``, handlers mid-dispatch become zombies that
+        can no longer persist or send.  After *down_for* simulated
+        seconds the host boots from the checkpoint: volatile state
+        (caches, locks, watchers, processes) is gone, services re-adopt
+        in-flight work via ``wsrf_recover``, and the boot epoch advances
+        so leftovers of the old boot cannot write into the new one.
+
+        Returns the simpy process so callers can wait on the reboot.
+        """
+        machine = self._machine_named(name)
+        host = machine.host
+
+        def _bounce(env):
+            if at is not None and at > env.now:
+                yield env.timeout(at - env.now)
+            span = None
+            if self.obs is not None:
+                span = self.obs.start_span(
+                    "host.restart", attrs={"host": name, "down_for": down_for}
+                )
+            snap = host.snapshot()
+            host.down = True
+            yield env.timeout(down_for)
+            host.restore(snap)
+            host.down = False
+            if span is not None:
+                self.obs.finish(span)
+
+        return self.env.process(_bounce(self.env))
+
+    def _machine_named(self, name: str) -> Machine:
+        if self.central.name == name:
+            return self.central
+        for machine in self.machines:
+            if machine.name == name:
+                return machine
+        raise KeyError(f"no grid machine named {name!r}")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
@@ -29,6 +29,9 @@ class Host:
         self._tx_busy_until = 0.0
         #: hosts can be taken down for failure-injection tests
         self.down = False
+        #: bumped on every restore; dispatches from an older boot are
+        #: zombies and must not persist state or send replies
+        self.boot_epoch = 0
 
     def bind(self, port: int, server: object) -> None:
         if port in self._servers:
@@ -42,6 +45,39 @@ class Host:
 
     def server_on(self, port: int) -> Optional[object]:
         return self._servers.get(port)
+
+    # -- crash-restart ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[int, Any]:
+        """Checkpoint every bound server that persists state.
+
+        Delegates to servers exposing ``snapshot()`` (the IIS front-end,
+        which in turn checkpoints each hosted wrapper's resource store);
+        servers without durable state (file servers, TCP listeners) are
+        skipped — a real crash loses their in-flight buffers too.
+        """
+        out: Dict[int, Any] = {}
+        for port, server in self._servers.items():
+            if hasattr(server, "snapshot"):
+                out[port] = server.snapshot()
+        return out
+
+    def restore(self, snap: Dict[int, Any]) -> None:
+        """Bring the host back up from its last checkpoint.
+
+        The server objects stay **in place** (everything on the fabric
+        holds references to them — rebinding would model a re-deploy,
+        not a reboot); each one restores its own durable state.  Bumps
+        :attr:`boot_epoch` first so in-flight handlers from the dead
+        boot abort instead of persisting, then drops the dead boot's
+        TCP sessions.
+        """
+        self.boot_epoch += 1
+        self.network.drop_tcp_sessions(self.name)
+        for port, server_snap in snap.items():
+            server = self._servers.get(port)
+            if server is not None and hasattr(server, "restore"):
+                server.restore(server_snap)
 
     def reserve_tx(self, duration: float) -> float:
         """Queue a transmission of *duration* on the NIC.

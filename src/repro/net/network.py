@@ -320,6 +320,14 @@ class Network:
                 path=uri.path, message_id=message_id or "",
             )
             response = yield self.env.process(server.handle(payload, ctx))
+            if dest.down:
+                # The server executed, but the host died before its
+                # reply left: the caller sees a reset, not an answer
+                # from a dead machine (write-ahead contract, reply leg).
+                self.stats.record_fault("host-down")
+                raise DeliveryError(
+                    f"host {uri.host!r} went down before replying"
+                )
             if response is None:
                 response = ""
             resp_size = len(response.encode("utf-8"))
@@ -457,6 +465,11 @@ class Network:
                 try:
                     yield self.env.timeout(self.params.xml_cost(size))
                     yield self.env.process(server.handle(payload, ctx))
+                except DeliveryError:
+                    # The receiving host died mid-handling (crash-restart
+                    # zombie abort): for a one-way message that is the
+                    # same as a drop — nobody is owed an answer.
+                    self.stats.record_fault("host-down")
                 finally:
                     if span is not None:
                         obs.spans.finish_subtree(span)

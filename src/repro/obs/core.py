@@ -200,6 +200,15 @@ class Observability:
         recoveries = getattr(wrapper, "recoveries_announced", None)
         if recoveries is not None:
             reg.counter("scheduler.recoveries", **ids).set_total(recoveries)
+        # Crash-restart durability counters (docs/durability.md): set
+        # lazily by WrapperService.restore / wsrf_recover, so runs with
+        # no restarts export byte-identically to pre-durability runs.
+        restarts = getattr(wrapper, "restarts", None)
+        if restarts is not None:
+            reg.counter("host.restarts", **ids).set_total(restarts)
+        readopted = getattr(wrapper, "jobsets_readopted", None)
+        if readopted is not None:
+            reg.counter("scheduler.jobsets_readopted", **ids).set_total(readopted)
         if machine.name not in seen_machines:
             seen_machines.add(machine.name)
             reg.counter("iis.requests_served", host=machine.name).set_total(

@@ -69,6 +69,28 @@ class IisServer:
     def app_at(self, path: str):
         return self._apps.get("/" + path.strip("/"))
 
+    # -- crash-restart ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Checkpoint every hosted app that persists state (the wrappers)."""
+        return {
+            path: app.snapshot()
+            for path, app in self._apps.items()
+            if hasattr(app, "snapshot")
+        }
+
+    def restore(self, snap: Dict[str, object]) -> None:
+        """Restore each hosted app in place.
+
+        Registrations survive — a reboot re-deploys the same services at
+        the same paths, so the wrapper objects (which everything on the
+        fabric references) stay registered and only their state resets.
+        """
+        for path in sorted(snap):
+            app = self._apps.get(path)
+            if app is not None and hasattr(app, "restore"):
+                app.restore(snap[path])
+
     def handle(self, payload: str, ctx):
         """Network-facing server protocol (see repro.net)."""
         app = self._apps.get("/" + ctx.path.strip("/"))

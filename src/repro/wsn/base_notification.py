@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -163,7 +162,9 @@ class NotificationProducer:
     def __init__(self, wrapper) -> None:
         self.wrapper = wrapper
         self.subscriptions: Dict[str, Subscription] = {}
-        self._counter = itertools.count(1)
+        #: next subscription-id suffix; rebuilt as a high-water
+        #: mark from persisted rows after a host restart
+        self._sub_next = 1
         self.notifications_sent = 0
         #: distinct topic paths ever published (advertised via the
         #: wstop:Topic resource property, bounded to keep state sane)
@@ -200,6 +201,48 @@ class NotificationProducer:
         if self.subscriptions.pop(resource_id, None) is not None:
             self._changed()
 
+    def rebuild_from_store(self) -> None:
+        """Rebuild the in-memory mirror after a host restart.
+
+        Subscriptions are WS-Resources, so the persisted rows are the
+        source of truth; the mirror, the id high-water mark and any
+        half-open batch windows are process memory that died with the
+        old boot.  Pending batched notifications are *lost*, matching
+        one-way semantics — an un-flushed batch is exactly a message
+        that never left the dead host.
+        """
+        self.subscriptions = {}
+        high_water = 0
+        wrapper = self.wrapper
+        for rid in wrapper.store.list_ids(wrapper.service_name):
+            state = wrapper.store.load(wrapper.service_name, rid)
+            if _K_CONSUMER not in state or _K_EXPR not in state:
+                continue  # not a subscription resource
+            self.subscriptions[rid] = Subscription(
+                rid,
+                state[_K_CONSUMER],
+                TopicExpression(
+                    state[_K_EXPR], state.get(_K_DIALECT, CONCRETE_DIALECT)
+                ),
+                paused=bool(state.get(_K_PAUSED, False)),
+            )
+            if rid.startswith("sub-"):
+                try:
+                    high_water = max(high_water, int(rid[4:]))
+                except ValueError:
+                    pass
+        self._sub_next = max(self._sub_next, high_water + 1)
+        # A drop whose store-destroy the checkpoint predates is undone by
+        # the restore: the subscriber is live again, so the accounting
+        # must not still list it as dropped.
+        self.dropped_subscribers = [
+            rid for rid in self.dropped_subscribers
+            if rid not in self.subscriptions
+        ]
+        if self.batcher is not None:
+            self.batcher.drop_pending()
+        self._changed()
+
     def _changed(self) -> None:
         for callback in self.on_subscriptions_changed:
             callback()
@@ -207,7 +250,8 @@ class NotificationProducer:
     def add_subscription(
         self, consumer: EndpointReference, expression: TopicExpression
     ) -> str:
-        rid = f"sub-{next(self._counter):05d}"
+        rid = f"sub-{self._sub_next:05d}"
+        self._sub_next += 1
         self.wrapper.store.create(
             self.wrapper.service_name,
             rid,
@@ -332,6 +376,8 @@ class NotificationProducer:
         policy = self.redelivery_policy
         env = wrapper.env
         obs = getattr(wrapper.machine.network, "obs", None)
+        host = getattr(wrapper.machine, "host", None)
+        epoch = getattr(host, "boot_epoch", 0)
         failures = 0
         while True:
             try:
@@ -362,6 +408,13 @@ class NotificationProducer:
                     obs.finish(rspan)
             except Exception:
                 return  # non-transport failure: plain one-way loss
+        if host is not None and (
+            host.down or getattr(host, "boot_epoch", 0) != epoch
+        ):
+            # This redelivery loop belongs to a dead boot: its failure
+            # tally describes deliveries that never happened as far as
+            # the restored broker is concerned — do not drop.
+            return
         if sub.resource_id in self.subscriptions:
             self.dropped_subscribers.append(sub.resource_id)
             # Take the subscription's resource lock before destroying it: a

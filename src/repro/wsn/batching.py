@@ -71,6 +71,16 @@ class NotificationBatcher:
         queue.append((topic_path, payload.copy()))
         self.notifications_batched += 1
 
+    def drop_pending(self) -> None:
+        """Forget every un-flushed batch (host restart).
+
+        An open window's events only ever lived in process memory; the
+        crash loses them exactly as it would lose an in-flight one-way
+        Notify.  Pending flush timers from the old boot find their
+        queues gone and send nothing.
+        """
+        self._pending.clear()
+
     def _flush_after_window(self, sub: Subscription):
         wrapper = self.producer.wrapper
         env = wrapper.env

@@ -213,6 +213,18 @@ class ServiceSkeleton:
     def wsrf_on_destroy(self) -> None:
         """Called (with state loaded) just before this resource is destroyed."""
 
+    @classmethod
+    def wsrf_recover(cls, wrapper) -> None:
+        """Called once after the wrapper restores from a checkpoint.
+
+        The host just came back from a crash: persisted resource state
+        is in place, volatile state (locks, caches, watchers, spawned
+        OS processes) is gone.  Services override this to re-adopt
+        in-flight work from what the store says — see the Scheduler's
+        job-set re-adoption and the Execution Service's orphaned-job
+        cleanup (docs/durability.md).
+        """
+
 
 def collect_resource_fields(service_cls: Type[ServiceSkeleton]) -> Dict[str, Resource]:
     """All Resource descriptors declared on the class (MRO-aware)."""

@@ -19,7 +19,6 @@ IIS dispatches to.  Per invocation the wrapper
 from __future__ import annotations
 
 import inspect
-import itertools
 from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 from repro.db import BlobResourceStore, CachedResourceStore, NoSuchResource
@@ -59,6 +58,10 @@ class InvocationContext:
         #: the wsrf.dispatch span of this invocation (None when obs is off);
         #: lets author code parent its own spans / notifications to the call
         self.span = span
+        #: write-ahead outbox: (target_epr, body, category) triples held
+        #: until the db_save stage has persisted this invocation's state
+        self._outbox: list = []
+        self._outbox_closed = False
 
     @property
     def machine(self):
@@ -74,6 +77,38 @@ class InvocationContext:
 
     def my_epr(self) -> EndpointReference:
         return self.wrapper.epr_for(self.resource_id)
+
+    def send_after_persist(self, target_epr, body, category: str = "notify") -> None:
+        """Queue a one-way send honoring the write-ahead contract (WAL001).
+
+        State must hit the database before any message announcing it
+        leaves the host, so the wrapper holds these sends until the
+        db_save stage completes (a crash in between discards them along
+        with the unpersisted state — the client retries, the subscriber
+        never hears about state that no longer exists).  Called from a
+        detached process after its invocation already finished (e.g. a
+        process watcher that has done its own locked save), the send
+        fires immediately.
+        """
+        if self._outbox_closed:
+            self._send_now(target_epr, body, category)
+        else:
+            self._outbox.append((target_epr, body, category))
+
+    def _send_now(self, target_epr, body, category: str) -> None:
+        from repro.wsn.base_notification import fire_and_forget
+
+        fire_and_forget(
+            self.wrapper.env, self.wrapper.client, target_epr, body,
+            category=category, parent_span=self.span,
+        )
+
+    def _flush_outbox(self) -> None:
+        """Release deferred sends; the acknowledged state is on disk."""
+        self._outbox_closed = True
+        pending, self._outbox = self._outbox, []
+        for target_epr, body, category in pending:
+            self._send_now(target_epr, body, category)
 
     def credentials(self) -> UsernameToken:
         """Decrypt the WS-Security UsernameToken addressed to this service."""
@@ -138,7 +173,8 @@ class WrapperService:
 
         self._termination: Dict[str, Optional[float]] = {}
         self._resource_locks: Dict[str, object] = {}
-        self._rid_counter = itertools.count(1)
+        #: next resource-id suffix; a plain int so checkpoints capture it
+        self._rid_next = 1
         self._pending_db_ops = 0
         #: set by the WS-Notification producer attachment
         self.publish_hook: Optional[Callable] = None
@@ -193,7 +229,8 @@ class WrapperService:
         for name, value in fields.items():
             setattr(probe, name, value)
         state = self._state_from_instance(probe)
-        rid = f"{self.path}-r{next(self._rid_counter):05d}"
+        rid = f"{self.path}-r{self._rid_next:05d}"
+        self._rid_next += 1
         self.store.create(self.service_name, rid, state)
         self._pending_db_ops += 1
         return rid
@@ -263,13 +300,89 @@ class WrapperService:
                             continue
                         instance = self.service_cls()
                         self._populate_instance(instance, state)
-                        instance._invocation = InvocationContext(self, rid, None, None)
+                        ctx = InvocationContext(self, rid, None, None)
+                        instance._invocation = ctx
                         instance.wsrf_on_destroy()
                         self.destroy_resource(rid)
+                        # The destroy is persisted; deferred sends may go.
+                        ctx._flush_outbox()
                     finally:
                         lock.release()
 
         return self.env.process(sweeper(self.env))
+
+    # -- crash-restart ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Checkpoint this service's durable state (docs/durability.md).
+
+        Durable means what a real host would find on disk after a power
+        cut: the resource-store contents (store writes are synchronous
+        in the simulation, hence instantly durable), the scheduled
+        termination times and the resource-id allocator.  Everything
+        else — resource locks, the perf layer's blob cache, a producer's
+        subscription mirror — is process memory and is rebuilt on
+        :meth:`restore`.
+        """
+        return {
+            "store": self.store.snapshot(),
+            "termination": dict(self._termination),
+            "rid_next": self._rid_next,
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Bring the service back from *snap* after its host bounced.
+
+        The store is overwritten **in place** (detached watchers, the
+        producer attachment and the testbed all hold references to it)
+        and volatile per-boot state is dropped: locks died with their
+        holders, the blob cache may describe rolled-back writes
+        (``CachedResourceStore.restore`` clears it), and in-memory
+        mirrors are rebuilt from persisted rows.  Finishes by invoking
+        the author-side :meth:`ServiceSkeleton.wsrf_recover` hook.
+        """
+        obs = getattr(self.machine.network, "obs", None)
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "wsrf.recover",
+                attrs={"service": self.path, "host": self.machine.name},
+            )
+        self.store.restore(snap["store"])
+        self._termination = dict(snap["termination"])
+        self._rid_next = snap["rid_next"]
+        self._resource_locks = {}
+        #: created lazily so default obs exports stay byte-identical
+        self.restarts = getattr(self, "restarts", 0) + 1
+        producer = getattr(self, "notification_producer", None)
+        if producer is not None:
+            producer.rebuild_from_store()
+        self.service_cls.wsrf_recover(self)
+        # Recovery's own destroys/loads are part of the reboot, not of
+        # whichever dispatch happens to run next: don't charge them.
+        self._pending_db_ops = 0
+        if span is not None:
+            obs.finish(span)
+
+    def _check_alive(self, epoch: int) -> None:
+        """Abort the dispatch if the host crashed since it started.
+
+        A handler that straddles a crash is a zombie of the previous
+        boot: its writes were never persisted (the checkpoint predates
+        them) and its reply must not leave the host.  Raising
+        :class:`~repro.net.network.DeliveryError` models the client-side
+        connection reset; retry policies take it from there.
+        """
+        host = getattr(self.machine, "host", None)
+        if host is None:
+            return
+        if host.down or getattr(host, "boot_epoch", 0) != epoch:
+            from repro.net.network import DeliveryError
+
+            raise DeliveryError(
+                f"host {self.machine.name!r} went down mid-dispatch; "
+                "unpersisted work is discarded (write-ahead contract)"
+            )
 
     # -- notifications ------------------------------------------------------------------
 
@@ -400,6 +513,9 @@ class WrapperService:
         body = envelope.body
         tag = body.tag
         self._pending_db_ops = 0
+        # Which boot of this host the invocation belongs to; a restart
+        # mid-dispatch turns the handler into a zombie (see _check_alive).
+        epoch = getattr(getattr(self.machine, "host", None), "boot_epoch", 0)
         prof = getattr(self.machine.network, "prof", None)
         obs = getattr(self.machine.network, "obs", None) if span is not None else None
         if obs is not None:
@@ -454,6 +570,7 @@ class WrapperService:
             lock = self.resource_lock(rid)
             yield lock.acquire()
         worker_held = False
+        ctx = None
         try:
             # Resource lock first, worker thread second: lock waiters must
             # not occupy the ASP.NET pool (re-entrancy deadlock hazard).
@@ -463,6 +580,7 @@ class WrapperService:
                 yield self.env.timeout(self.machine.params.iis_dispatch_s)
             if stage is not None:
                 obs.finish(stage)
+            self._check_alive(epoch)
             if requires_resource:
                 cache_hit = (
                     self.perf is not None
@@ -499,9 +617,8 @@ class WrapperService:
                 self._populate_instance(instance, state_before)
                 if stage is not None:
                     obs.finish(stage)
-            instance._invocation = InvocationContext(
-                self, rid, envelope, delivery, span=span
-            )
+            ctx = InvocationContext(self, rid, envelope, delivery, span=span)
+            instance._invocation = ctx
 
             if obs is not None:
                 stage = obs.start_span(
@@ -523,6 +640,11 @@ class WrapperService:
                 response_body = result
             if stage is not None:
                 obs.finish(stage)
+            # A crash between the method and the db_save stage rolls the
+            # state back to the checkpoint: no save, no reply, and the
+            # outbox dies unflushed (the write-ahead contract's whole
+            # point — nothing announces state that was never persisted).
+            self._check_alive(epoch)
 
             # Save state if the resource still exists and anything changed.
             state_after: Optional[Dict[QName, Any]] = None
@@ -543,7 +665,10 @@ class WrapperService:
                 # Nothing to persist: skip the db_save stage entirely.
                 # (WSRF.NET's pipeline opens it unconditionally, so the
                 # default path below keeps the stage even when empty.)
+                # Deferred sends are safe here — elision means the state
+                # they describe was already durable before this dispatch.
                 self.writes_elided += 1
+                ctx._flush_outbox()
                 return response_body
             if obs is not None:
                 stage = obs.start_span(
@@ -552,6 +677,7 @@ class WrapperService:
                 )
             if state_after is not None:
                 yield self.machine.db_delay()
+                self._check_alive(epoch)
                 if prof is None:
                     self.store.save(self.service_name, rid, state_after)
                 else:
@@ -560,8 +686,15 @@ class WrapperService:
             yield from self._charge_pending_db()
             if stage is not None:
                 obs.finish(stage)
+            ctx._flush_outbox()
             return response_body
         finally:
+            # Fault paths reach here with the outbox unflushed: those
+            # sends are discarded, not delayed (their state never made
+            # it to the database).  Closing the context makes any later
+            # send_after_persist from detached watchers fire directly.
+            if ctx is not None:
+                ctx._outbox_closed = True
             if worker_held:
                 pool.release()
             if lock is not None:

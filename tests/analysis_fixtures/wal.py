@@ -1,0 +1,36 @@
+"""WAL001 fixtures: notifications racing the db_save stage."""
+
+from repro.wsn.base_notification import build_notify_body, fire_and_forget
+from repro.wsrf.attributes import ServiceSkeleton, WebMethod
+from repro.xmlx import NS, Element, QName
+
+
+class EagerAnnouncer(ServiceSkeleton):
+    SERVICE_NS = NS.UVACG
+
+    done = None  # stands in for a Resource field in this fixture
+
+    @WebMethod
+    def Finish(self) -> str:
+        self.done = True
+        payload = Element(QName(NS.UVACG, "Done"))
+        body = build_notify_body("jobs/done", payload, self.wsrf.my_epr())
+        # WAL001: the Notify leaves before db_save persists done=True;
+        # a crash in between acknowledges state that no longer exists.
+        fire_and_forget(self.env, self.client, self.wsrf.my_epr(), body)
+        return "ok"
+
+    @WebMethod
+    def FinishSafely(self) -> str:
+        self.done = True
+        payload = Element(QName(NS.UVACG, "Done"))
+        body = build_notify_body("jobs/done", payload, self.wsrf.my_epr())
+        # OK: queued on the invocation outbox, sent only after db_save.
+        self.wsrf.send_after_persist(self.wsrf.my_epr(), body)
+        return "ok"
+
+
+def relay(env, client, epr, body):
+    # OK: module-level helper, not service code — the infrastructure
+    # (producers, batchers) legitimately sends fire-and-forget.
+    fire_and_forget(env, client, epr, body)

@@ -21,7 +21,7 @@ GOLDEN = REPO_ROOT / "tests" / "analysis_golden.json"
 BASELINE = REPO_ROOT / "wsrfcheck-baseline.json"
 
 #: rules whose baseline must be empty for tier-1 correctness
-CRITICAL_RULES = ("WSRF001", "WSRF002", "WSRF003", "DET001")
+CRITICAL_RULES = ("WSRF001", "WSRF002", "WSRF003", "DET001", "WAL001")
 
 
 def analyze_fixtures(rules=None):
@@ -169,6 +169,27 @@ class TestRulesFire:
         # the typed QuotaFault raise is clean
         assert not any("QuotaFault" in m for m in messages)
 
+    def test_wal001_write_ahead_ordering(self):
+        findings = findings_for("WAL001")
+        symbols = {f.symbol for f in findings}
+        # fire_and_forget inside a ServiceSkeleton subclass fires...
+        assert "EagerAnnouncer.Finish" in symbols
+        # ...the outbox-routed send and module-level helpers are clean.
+        assert "EagerAnnouncer.FinishSafely" not in symbols
+        assert "relay" not in symbols
+        assert all("send_after_persist" in f.message for f in findings)
+
+    def test_wal001_empty_baseline(self):
+        """The rule ships at zero findings: nothing baselined, src clean."""
+        data = json.loads(BASELINE.read_text())
+        assert [e for e in data["findings"] if e["rule"] == "WAL001"] == []
+        report = analyze_paths(
+            [str(REPO_ROOT / "src" / "repro")], rules=["WAL001"], root=REPO_ROOT
+        )
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
+
     def test_det001_nondeterminism(self):
         symbols = {f.symbol for f in findings_for("DET001")}
         assert symbols >= {
@@ -267,7 +288,7 @@ class TestEngine:
         )
         assert proc.returncode == 1
         payload = json.loads(proc.stdout)
-        assert payload["files_analyzed"] == 8
+        assert payload["files_analyzed"] == 9
         clean = subprocess.run(
             [sys.executable, "-m", "repro.analysis", "src/repro"],
             capture_output=True, text=True, cwd=REPO_ROOT,
@@ -283,6 +304,7 @@ class TestShippedTreeIsClean:
     def test_rule_catalog_is_complete(self):
         assert set(rule_catalog()) == {
             "WSRF001", "WSRF002", "WSRF003", "DET001", "SIM001", "SIM002",
+            "WAL001",
         }
 
     def test_shipped_baseline_has_no_critical_entries(self):

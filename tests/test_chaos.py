@@ -154,6 +154,85 @@ class TestChaosWithPerfLayer:
         assert tb.scheduler.store.hits > 0, "the cache must have been exercised"
 
 
+class TestRestartUnderFire:
+    """Crash-restart durability under packet loss (docs/durability.md):
+    20% drop on every lossy link PLUS a mid-run host bounce — of the
+    central machine (broker + scheduler) or of a worker node — and the
+    job set still completes with byte-identical outputs, with the
+    broker's redelivery/drop accounting consistent after the bounce."""
+
+    def _build(self, n_jobs=8):
+        # Restart survival needs a retry budget that outlasts the down
+        # window; the plain chaos policy's ~3s total backoff does not.
+        policy = RetryPolicy(
+            max_attempts=8, base_delay_s=0.5, backoff_factor=2.0,
+            max_delay_s=3.0, timeout_s=30.0,
+        )
+        tb = Testbed(
+            n_machines=4,
+            seed=11,
+            retry_policy=policy,
+            fault_tolerance=FaultToleranceConfig(
+                watchdog_period=5.0, stuck_after=20.0
+            ),
+            broker_redelivery=policy,
+        )
+        tb.network.inject_faults(drop_probability=DROP_THRESHOLD, seed=3)
+        tb.programs.register(
+            make_compute_program("work", 2.0, outputs={"out.dat": PAYLOAD})
+        )
+        client = tb.make_client()
+        spec = client.new_job_set()
+        exe = client.add_program_binary(tb.programs.get("work"))
+        for i in range(n_jobs):
+            spec.add(JobSpec(name=f"job{i:02d}", executable=FileRef(exe, "job.exe")))
+        return tb, client, spec
+
+    def _run(self, host, at, down_for=3.0):
+        tb, client, spec = self._build()
+        tb.restart_host(host, at=at, down_for=down_for)
+        outcome, jobset_epr, _ = tb.run(
+            client.run_job_set_polled(spec, period=3.0, give_up_after=2000.0)
+        )
+        return tb, client, outcome, jobset_epr
+
+    def _assert_all_outputs(self, tb, client, jobset_epr, n_jobs=8):
+        dirs = _job_dirs(tb, jobset_epr)
+        assert len(dirs) == n_jobs
+        for name, dir_epr in sorted(dirs.items()):
+            content = tb.run(client.fetch_output(dir_epr, "out.dat"))
+            assert content.to_bytes() == PAYLOAD, name
+
+    def test_broker_scheduler_bounce_under_drop_completes(self):
+        tb, client, outcome, jobset_epr = self._run("uvacg-central", at=6.0)
+        assert outcome == "completed"
+        assert tb.network.stats.drops > 0, "chaos must actually have bitten"
+        assert tb.scheduler.restarts == 1
+        assert tb.broker.restarts == 1
+        self._assert_all_outputs(tb, client, jobset_epr)
+
+    def test_node_bounce_under_drop_completes(self):
+        tb, client, outcome, jobset_epr = self._run("node02", at=4.0)
+        assert outcome == "completed"
+        assert tb.es["node02"].restarts == 1
+        self._assert_all_outputs(tb, client, jobset_epr)
+
+    def test_redelivery_accounting_consistent_after_bounce(self):
+        """After the broker bounce: every live subscription is a
+        persisted resource, and nothing is simultaneously live and
+        counted as dropped (the restore reconciles a rolled-back drop)."""
+        tb, client, outcome, _ = self._run("uvacg-central", at=10.0)
+        assert outcome == "completed"
+        tb.settle()
+        producer = tb.broker.notification_producer
+        live = set(producer.subscriptions)
+        persisted = set(tb.broker.store.list_ids("NotificationBroker"))
+        assert live <= persisted
+        assert live.isdisjoint(producer.dropped_subscribers)
+        # Dropped rids were destroyed: none may linger in the store.
+        assert persisted.isdisjoint(producer.dropped_subscribers)
+
+
 class TestChaosDeterminism:
     @staticmethod
     def _run_without_retries(fault_seed):

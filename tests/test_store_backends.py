@@ -10,7 +10,13 @@ models a legacy system's records as WS-Resources.
 
 import pytest
 
-from repro.db import BlobResourceStore, NoSuchResource, XmlResourceStore
+from repro.db import (
+    BlobResourceStore,
+    CachedResourceStore,
+    NoSuchResource,
+    SqlResourceStore,
+    XmlResourceStore,
+)
 from repro.net import Network
 from repro.osim import Machine
 from repro.sim import Environment
@@ -143,6 +149,91 @@ class LegacyStoreAdapter:
 
     def list_ids(self, service):
         return sorted(self.legacy.parts)
+
+
+#: every backend must speak the uniform checkpoint dialect of
+#: docs/durability.md: snapshot() -> {"Service|rid": encoded bytes}
+SNAPSHOT_BACKENDS = [
+    BlobResourceStore,
+    XmlResourceStore,
+    SqlResourceStore,
+    CachedResourceStore,
+]
+
+COUNT = QName(UVA, "count")
+
+
+@pytest.mark.parametrize("store_cls", SNAPSHOT_BACKENDS)
+class TestSnapshotRestore:
+    def test_round_trip_is_byte_identical(self, store_cls):
+        env, wrapper, client = _fabric(store_cls())
+        epr1 = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        epr2 = run(env, client.call(wrapper.service_epr(), UVA, "Create"))
+        run(env, client.call(epr1, UVA, "Bump"))
+        snap = wrapper.store.snapshot()
+        assert len(snap) == 2
+        assert all(
+            isinstance(k, str) and "|" in k and isinstance(v, bytes)
+            for k, v in snap.items()
+        )
+        # Diverge past the checkpoint, then roll back.
+        run(env, client.call(epr1, UVA, "Bump"))
+        run(env, client.call(epr2, UVA, "Bump"))
+        wrapper.store.restore(snap)
+        assert wrapper.store.snapshot() == snap
+        # The restored state is live: epr1 was at 1 in the checkpoint.
+        assert run(env, client.call(epr1, UVA, "Bump")) == 2
+
+    def test_restore_evicts_post_checkpoint_resources(self, store_cls):
+        store = store_cls()
+        store.create("Counter", "keep", {COUNT: 1})
+        snap = store.snapshot()
+        store.create("Counter", "doomed", {COUNT: 2})
+        store.destroy("Counter", "keep")
+        store.restore(snap)
+        assert store.exists("Counter", "keep")
+        assert not store.exists("Counter", "doomed")
+        assert store.load("Counter", "keep") == {COUNT: 1}
+
+    def test_empty_store_round_trip(self, store_cls):
+        store = store_cls()
+        assert store.snapshot() == {}
+        store.create("Counter", "r1", {COUNT: 1})
+        store.restore({})
+        assert not store.exists("Counter", "r1")
+        assert list(store.list_ids("Counter")) == []
+
+
+class TestCheckpointPortability:
+    def test_checkpoint_restores_into_any_backend(self):
+        src = BlobResourceStore()
+        src.create("Counter", "a", {COUNT: 7})
+        src.create("Counter", "b", {COUNT: "text"})
+        snap = src.snapshot()
+        for dest_cls in (XmlResourceStore, SqlResourceStore, CachedResourceStore):
+            dest = dest_cls()
+            dest.restore(snap)
+            assert dest.snapshot() == snap, dest_cls.__name__
+            assert dest.load("Counter", "a") == src.load("Counter", "a")
+
+
+class TestCachedStoreRestoreInvalidation:
+    def test_cache_cannot_resurrect_pre_restart_state(self):
+        """Regression: restore() must invalidate the blob cache.
+
+        If restore wrote through to the inner store but left ``_blobs``
+        alone, the next load would serve the rolled-back post-checkpoint
+        blob — resurrecting state the crash erased.
+        """
+        store = CachedResourceStore()
+        store.create("Counter", "r1", {COUNT: 1})
+        before = store.load("Counter", "r1")  # primes the cache
+        snap = store.snapshot()
+        store.save("Counter", "r1", {COUNT: 99})
+        store.load("Counter", "r1")  # cache now holds the doomed blob
+        store.restore(snap)
+        store.assert_coherent()
+        assert store.load("Counter", "r1") == before
 
 
 class TestLegacySystemAsResources:
