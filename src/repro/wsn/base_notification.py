@@ -177,7 +177,12 @@ class NotificationProducer:
         #: count of publishes whose (new) topic path went unrecorded
         self.topics_dropped = 0
         #: callbacks run after any subscription change (add/pause/destroy);
-        #: used by brokers for demand-based publishing
+        #: used by brokers for demand-based publishing.  Each callback
+        #: receives the live InvocationContext when the change happened
+        #: inside a dispatch (so follow-up sends can honor the
+        #: write-ahead contract via send_after_persist), or None when no
+        #: dispatch is in flight (recovery rebuild, destroy callbacks —
+        #: the state is already durable there).
         self.on_subscriptions_changed: list = []
         #: optional RetryPolicy: bounded redelivery to unreachable
         #: consumers before the subscription is dropped.  None (default)
@@ -243,12 +248,15 @@ class NotificationProducer:
             self.batcher.drop_pending()
         self._changed()
 
-    def _changed(self) -> None:
+    def _changed(self, ctx=None) -> None:
         for callback in self.on_subscriptions_changed:
-            callback()
+            callback(ctx)
 
     def add_subscription(
-        self, consumer: EndpointReference, expression: TopicExpression
+        self,
+        consumer: EndpointReference,
+        expression: TopicExpression,
+        ctx=None,
     ) -> str:
         rid = f"sub-{self._sub_next:05d}"
         self._sub_next += 1
@@ -263,10 +271,10 @@ class NotificationProducer:
             },
         )
         self.subscriptions[rid] = Subscription(rid, consumer, expression)
-        self._changed()
+        self._changed(ctx)
         return rid
 
-    def set_paused(self, resource_id: str, paused: bool) -> None:
+    def set_paused(self, resource_id: str, paused: bool, ctx=None) -> None:
         sub = self.subscriptions.get(resource_id)
         if sub is None:
             raise PauseFailedFault(
@@ -277,7 +285,7 @@ class NotificationProducer:
         state = self.wrapper.store.load(self.wrapper.service_name, resource_id)
         state[_K_PAUSED] = paused
         self.wrapper.store.save(self.wrapper.service_name, resource_id, state)
-        self._changed()
+        self._changed(ctx)
 
     def active_interest_in(self, topic_root: str) -> bool:
         """True if any unpaused subscription could match under *root*.
@@ -486,7 +494,9 @@ class NotificationProducerPortType(SpecPortType):
                 description=str(exc), timestamp=self.wrapper.env.now
             ) from exc
         consumer = EndpointReference.from_xml(consumer_el)
-        rid = producer.add_subscription(consumer, expression)
+        rid = producer.add_subscription(
+            consumer, expression, ctx=self.instance.wsrf
+        )
         response = Element(QName(NS.WSNT, "SubscribeResponse"))
         response.append(self.wrapper.epr_for(rid).to_xml(_SUBSCRIPTION_REF))
         return response
@@ -510,11 +520,13 @@ class SubscriptionManagerPortType(SpecPortType):
         return producer
 
     def pause(self, request: Element) -> Element:
-        self._producer().set_paused(self.instance.wsrf.resource_id, True)
+        wsrf = self.instance.wsrf
+        self._producer().set_paused(wsrf.resource_id, True, ctx=wsrf)
         return Element(QName(NS.WSNT, "PauseSubscriptionResponse"))
 
     def resume(self, request: Element) -> Element:
-        self._producer().set_paused(self.instance.wsrf.resource_id, False)
+        wsrf = self.instance.wsrf
+        self._producer().set_paused(wsrf.resource_id, False, ctx=wsrf)
         return Element(QName(NS.WSNT, "ResumeSubscriptionResponse"))
 
 

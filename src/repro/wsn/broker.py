@@ -20,8 +20,8 @@ from repro.wsn.base_notification import (
     NotificationProducerPortType,
     SubscriptionManagerPortType,
     attach_notification_producer,
-    fire_and_forget,
 )
+from repro.wsrf.tooling import InvocationContext
 from repro.wsrf.attributes import (
     ResourceProperty,
     ServiceSkeleton,
@@ -68,7 +68,7 @@ class RegisterPublisherPortType(SpecPortType):
                     "soap:Client", "demand registration needs a Topic root"
                 )
             manager = _demand_manager(self.wrapper)
-            manager.register(epr, topic_root)
+            manager.register(epr, topic_root, ctx=self.instance.wsrf)
         return Element(QName(NS.WSBN, "RegisterPublisherResponse"))
 
 
@@ -82,14 +82,27 @@ class _DemandManager:
         producer = attach_notification_producer(wrapper)
         producer.on_subscriptions_changed.append(self.reevaluate)
 
-    def register(self, epr, topic_root: str) -> None:
+    def register(self, epr, topic_root: str, ctx=None) -> None:
         self.entries[epr] = [topic_root, None]  # unknown state yet
-        self.reevaluate()
+        self.reevaluate(ctx)
 
-    def reevaluate(self) -> None:
+    def reevaluate(self, ctx=None) -> None:
+        """Re-derive demand and signal publishers whose state flipped.
+
+        Pause/Resume sends honor the write-ahead contract: when a live
+        dispatch context is supplied, the one-way control messages queue
+        on its outbox and leave only after the dispatch persists the
+        subscription change.  With no dispatch in flight (recovery
+        rebuild, resource-destroy callbacks) the state is already
+        durable, so a closed context sends immediately.
+        """
         producer = getattr(self.wrapper, "notification_producer", None)
         if producer is None:
             return
+        send = ctx
+        if send is None:
+            send = InvocationContext(self.wrapper, None, None, None)
+            send._outbox_closed = True
         for epr, entry in self.entries.items():
             topic_root, told = entry
             want = producer.active_interest_in(topic_root)
@@ -98,10 +111,7 @@ class _DemandManager:
             entry[1] = want
             body = Element(RESUME_PUBLISHING if want else PAUSE_PUBLISHING)
             body.subelement(QName(NS.WSBN, "Topic"), text=topic_root)
-            fire_and_forget(
-                self.wrapper.env, self.wrapper.client, epr, body,
-                category="demand-control",
-            )
+            send.send_after_persist(epr, body, category="demand-control")
 
 
 def _demand_manager(wrapper) -> _DemandManager:

@@ -414,6 +414,54 @@ class TestDemandPublishing:
         env.run(until=env.now + 1.0)
         assert self._is_publishing(env, client, sensor) is False
 
+    def test_demand_signals_obey_write_ahead_order(self, fabric, monkeypatch):
+        """Demand-control Pause/Resume rides the dispatch outbox (WAL002).
+
+        The one-way signal must leave the broker only after the dispatch
+        that changed the subscription state has persisted it — never
+        mid-method, where a crash would have announced state that was
+        about to be rolled back.
+        """
+        import repro.wsn.base_notification as base_notification
+
+        env, net, broker, sensor, client = self._demand_setup(fabric)
+        from repro.wsn.base_notification import PAUSE_SUBSCRIPTION
+
+        listener = NotificationListener(net, "client")
+        sub_epr = run(env, client.subscribe(broker.service_epr(), listener.epr,
+                                            "env/**", dialect=FULL_DIALECT))
+        env.run(until=env.now + 1.0)
+
+        order = []
+        real_save = broker.store.save
+        real_send = base_notification.fire_and_forget
+
+        def spy_save(service, rid, state):
+            order.append(("save", rid))
+            return real_save(service, rid, state)
+
+        def spy_send(env_, client_, epr, body, category="notify", **kwargs):
+            order.append(("send", category))
+            return real_send(env_, client_, epr, body, category=category, **kwargs)
+
+        monkeypatch.setattr(broker.store, "save", spy_save)
+        monkeypatch.setattr(base_notification, "fire_and_forget", spy_send)
+
+        # Pausing the only matching subscription flips demand -> Pause.
+        run(env, client.invoke(sub_epr, Element(PAUSE_SUBSCRIPTION)))
+        env.run(until=env.now + 1.0)
+
+        sends = [i for i, (kind, tag) in enumerate(order)
+                 if kind == "send" and tag == "demand-control"]
+        saves = [i for i, (kind, _) in enumerate(order) if kind == "save"]
+        assert sends, f"no demand-control send recorded: {order}"
+        assert saves, f"no broker store save recorded: {order}"
+        assert min(sends) > max(saves), (
+            f"demand-control send left before the dispatch persisted the "
+            f"subscription change: {order}"
+        )
+        assert self._is_publishing(env, client, sensor) is False
+
 
 class TestBrokerRedelivery:
     """Bounded notification redelivery, then dropping the subscriber."""
