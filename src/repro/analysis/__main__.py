@@ -1,8 +1,16 @@
 """CLI for wsrfcheck: ``python -m repro.analysis [paths...]``.
 
-Exit status is 0 when every finding is suppressed or baselined, 1
-otherwise — CI runs ``python -m repro.analysis src/repro`` and fails
-the build on any new finding.
+Exit-code matrix (tested by ``tests/test_analysis.py``):
+
+- **0** — every finding is suppressed or baselined, no parse errors,
+  no stale baseline entries;
+- **1** — findings, parse errors, or stale baseline entries (the
+  ratchet: entries matching nothing must be pruned);
+- **2** — usage or I/O errors: unknown rule codes, nonexistent paths,
+  an unreadable baseline file (argparse misuse also exits 2).
+
+CI runs ``python -m repro.analysis src/repro`` and fails the build on
+any new finding; ``--format sarif`` feeds the code-scanning upload.
 """
 
 from __future__ import annotations
@@ -14,9 +22,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.engine import (
+    BaselineError,
     analyze_paths,
     iter_rules,
     load_baseline,
+    prune_baseline,
+    rule_catalog,
     write_baseline,
 )
 
@@ -33,7 +44,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="files or directories to analyze (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -50,7 +61,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--write-baseline", action="store_true",
-        help="accept all current findings into the baseline file and exit 0",
+        help="accept all current findings into the baseline file and exit 0 "
+        "(one-time adoption; day-to-day pruning is --update-baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="prune baseline entries that no longer match any finding and "
+        "exit 0; never adds entries (baselines only shrink)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="audit view: also list findings silenced by "
+        "'# wsrfcheck: ignore[...]' comments",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -59,7 +81,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if opts.list_rules:
         for rule in iter_rules():
-            print(f"{rule.code}  {rule.title}")
+            kind = "program" if rule.program else "module"
+            print(f"{rule.code}  [{kind}]  {rule.title}")
             if rule.description:
                 print(f"        {rule.description}")
         return 0
@@ -69,8 +92,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         if opts.rules
         else None
     )
+    if rules:
+        unknown = sorted(set(rules) - set(rule_catalog()))
+        if unknown:
+            print(
+                f"wsrfcheck: unknown rule code(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [p for p in opts.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"wsrfcheck: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
     baseline_path = Path(opts.baseline)
-    baseline = None if opts.no_baseline else load_baseline(baseline_path)
+    try:
+        baseline = None if opts.no_baseline else load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"wsrfcheck: {exc}", file=sys.stderr)
+        return 2
 
     if opts.write_baseline:
         report = analyze_paths(opts.paths, rules=rules, baseline=None)
@@ -81,11 +124,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if opts.update_baseline:
+        report = analyze_paths(opts.paths, rules=None, baseline=baseline)
+        pruned = prune_baseline(baseline_path, report.matched_baseline)
+        print(
+            f"wsrfcheck: pruned {pruned} stale entr"
+            f"{'y' if pruned == 1 else 'ies'} from {baseline_path}; "
+            f"{len(report.matched_baseline)} kept"
+        )
+        return 0
+
     report = analyze_paths(opts.paths, rules=rules, baseline=baseline)
     if opts.format == "json":
-        print(json.dumps(report.to_json(), indent=2))
+        print(json.dumps(report.to_json(show_suppressed=opts.show_suppressed), indent=2))
+    elif opts.format == "sarif":
+        print(report.render_sarif())
     else:
-        print(report.render_text())
+        print(report.render_text(show_suppressed=opts.show_suppressed))
     return report.exit_code
 
 

@@ -1,15 +1,22 @@
 """The wsrfcheck rule engine: file walk, suppressions, baseline, report.
 
-A :class:`Rule` is a callable over one parsed module plus the global
-:class:`~repro.analysis.model.ContractModel`; it yields
-:class:`Finding` objects.  The engine handles everything around that:
-collecting files, parsing, building the model, line-level suppressions
-(``# wsrfcheck: ignore[WSRF001]``), the checked-in baseline of accepted
-findings, and stable text/JSON rendering.
+Two kinds of rules share the engine.  A *module* :class:`Rule` is a
+callable over one parsed module plus the global
+:class:`~repro.analysis.model.ContractModel`; a *program* rule runs
+once over the whole analyzed tree via a :class:`ProgramContext`, which
+carries the module-qualified call graph
+(:mod:`repro.analysis.callgraph`) for interprocedural analysis.  Both
+yield :class:`Finding` objects; the engine handles everything around
+that: collecting files, parsing, building the model and call graph,
+line-level suppressions (``# wsrfcheck: ignore[WSRF001]``, multiple
+comments per line combine), the checked-in baseline of accepted
+findings, and stable text/JSON/SARIF rendering.
 
 Fingerprints deliberately exclude line numbers: a baselined finding
 stays baselined when unrelated edits shift the file, and resurfaces the
-moment its rule, file or message changes.
+moment its rule, file or message changes.  The baseline is a ratchet —
+entries that no longer match any finding are *stale* and fail the run
+until pruned with ``--update-baseline`` (baselines only shrink).
 """
 
 from __future__ import annotations
@@ -71,24 +78,45 @@ class ModuleContext:
     def suppressed(self, line: int, rule: str) -> bool:
         if not 1 <= line <= len(self.source_lines):
             return False
-        match = SUPPRESS_RE.search(self.source_lines[line - 1])
-        if match is None:
-            return False
-        rules = match.group(1)
-        if rules is None:
-            return True  # bare "# wsrfcheck: ignore" silences every rule
-        return rule in {r.strip() for r in rules.split(",")}
+        for match in SUPPRESS_RE.finditer(self.source_lines[line - 1]):
+            rules = match.group(1)
+            if rules is None:
+                return True  # bare "# wsrfcheck: ignore" silences every rule
+            if rule in {r.strip() for r in rules.split(",")}:
+                return True
+        return False
+
+
+@dataclass
+class ProgramContext:
+    """Everything a whole-program rule sees: all modules plus the graph."""
+
+    modules: List[ModuleContext]
+    model: ContractModel
+    callgraph: "object"  # repro.analysis.callgraph.CallGraph
+    #: qualnames of functions handed to env.process (detached contexts)
+    process_roots: Set[str]
+
+    def module_for(self, path: str) -> Optional[ModuleContext]:
+        for ctx in self.modules:
+            if ctx.path == path:
+                return ctx
+        return None
 
 
 RuleFn = Callable[[ModuleContext], Iterator[Finding]]
+ProgramRuleFn = Callable[[ProgramContext], Iterator[Finding]]
 
 
 @dataclass(frozen=True)
 class Rule:
     code: str
     title: str
-    fn: RuleFn
+    fn: Callable[..., Iterator[Finding]]
     description: str = ""
+    #: program rules run once over the whole tree (ProgramContext);
+    #: module rules run per file (ModuleContext)
+    program: bool = False
 
 
 _RULES: Dict[str, Rule] = {}
@@ -97,10 +125,24 @@ _RULES: Dict[str, Rule] = {}
 def register_rule(
     code: str, title: str, description: str = ""
 ) -> Callable[[RuleFn], RuleFn]:
-    """Decorator adding a rule to the catalog (see docs/static_analysis.md)."""
+    """Decorator adding a per-module rule to the catalog."""
 
     def wrap(fn: RuleFn) -> RuleFn:
         _RULES[code] = Rule(code=code, title=title, fn=fn, description=description)
+        return fn
+
+    return wrap
+
+
+def register_program_rule(
+    code: str, title: str, description: str = ""
+) -> Callable[[ProgramRuleFn], ProgramRuleFn]:
+    """Decorator adding a whole-program (interprocedural) rule."""
+
+    def wrap(fn: ProgramRuleFn) -> ProgramRuleFn:
+        _RULES[code] = Rule(
+            code=code, title=title, fn=fn, description=description, program=True
+        )
         return fn
 
     return wrap
@@ -119,6 +161,7 @@ def rule_catalog() -> Dict[str, Rule]:
 def _ensure_rules_loaded() -> None:
     # Imported lazily so engine <-> rules avoid a circular import.
     from repro.analysis import rules as _rules  # noqa: F401
+    from repro.analysis import rules_interproc as _rules_ip  # noqa: F401
 
 
 # -- file collection ---------------------------------------------------------------
@@ -165,11 +208,18 @@ def _module_name(rel_path: str) -> str:
 BASELINE_VERSION = 1
 
 
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be parsed (CLI exit 2)."""
+
+
 def load_baseline(path: Optional[Path]) -> Set[str]:
     if path is None or not path.exists():
         return set()
-    data = json.loads(path.read_text(encoding="utf-8"))
-    return {entry["fingerprint"] for entry in data.get("findings", [])}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return {entry["fingerprint"] for entry in data.get("findings", [])}
+    except (json.JSONDecodeError, TypeError, KeyError, UnicodeDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
 
 
 def write_baseline(path: Path, findings: List[Finding]) -> None:
@@ -187,6 +237,24 @@ def write_baseline(path: Path, findings: List[Finding]) -> None:
     path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
 
+def prune_baseline(path: Path, matched: Set[str]) -> int:
+    """Drop baseline entries whose fingerprint matched no finding.
+
+    The ratchet: ``--update-baseline`` can only *shrink* the accepted
+    set — new findings are never added (that would silently accept
+    regressions; the one-time adoption path is ``--write-baseline``).
+    Returns the number of pruned entries.
+    """
+    if not path.exists():
+        return 0
+    data = json.loads(path.read_text(encoding="utf-8"))
+    before = data.get("findings", [])
+    kept = [entry for entry in before if entry["fingerprint"] in matched]
+    data["findings"] = kept
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return len(before) - len(kept)
+
+
 # -- the run -----------------------------------------------------------------------
 
 
@@ -197,23 +265,45 @@ class AnalysisReport:
     baselined: int = 0
     files_analyzed: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: suppressed findings, kept for the --show-suppressed audit view
+    suppressed_findings: List[Finding] = field(default_factory=list)
+    #: baseline fingerprints that matched no finding (the ratchet:
+    #: stale entries fail the run until pruned with --update-baseline)
+    stale_baseline: List[str] = field(default_factory=list)
+    #: baseline fingerprints that did match a finding this run
+    matched_baseline: Set[str] = field(default_factory=set)
 
     @property
     def exit_code(self) -> int:
-        return 1 if self.findings or self.parse_errors else 0
+        return 1 if self.findings or self.parse_errors or self.stale_baseline else 0
 
-    def to_json(self) -> Dict:
-        return {
+    def to_json(self, show_suppressed: bool = False) -> Dict:
+        out: Dict = {
             "files_analyzed": self.files_analyzed,
             "suppressed": self.suppressed,
             "baselined": self.baselined,
+            "stale_baseline": sorted(self.stale_baseline),
             "parse_errors": self.parse_errors,
             "findings": [f.to_json() for f in self.findings],
         }
+        if show_suppressed:
+            out["suppressed_findings"] = [
+                f.to_json() for f in self.suppressed_findings
+            ]
+        return out
 
-    def render_text(self) -> str:
+    def render_text(self, show_suppressed: bool = False) -> str:
         lines = [f.render() for f in self.findings]
         lines.extend(f"parse error: {err}" for err in self.parse_errors)
+        if show_suppressed:
+            lines.extend(
+                f"{f.render()} (suppressed)" for f in self.suppressed_findings
+            )
+        for fingerprint in sorted(self.stale_baseline):
+            lines.append(
+                f"stale baseline entry {fingerprint}: matches no current "
+                "finding; prune it with --update-baseline"
+            )
         by_rule: Dict[str, int] = {}
         for f in self.findings:
             by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
@@ -224,8 +314,76 @@ class AnalysisReport:
             + (f" ({summary})" if summary else "")
             + (f"; {self.baselined} baselined" if self.baselined else "")
             + (f"; {self.suppressed} suppressed" if self.suppressed else "")
+            + (
+                f"; {len(self.stale_baseline)} stale baseline entr"
+                f"{'y' if len(self.stale_baseline) == 1 else 'ies'}"
+                if self.stale_baseline
+                else ""
+            )
         )
         return "\n".join(lines)
+
+    def render_sarif(self) -> str:
+        """SARIF 2.1.0 for code-scanning upload (deterministic bytes)."""
+        catalog = rule_catalog()
+        fired = sorted({f.rule for f in self.findings})
+        rules_json = []
+        for code in fired:
+            rule = catalog.get(code)
+            rules_json.append(
+                {
+                    "id": code,
+                    "name": code,
+                    "shortDescription": {"text": rule.title if rule else code},
+                    "fullDescription": {
+                        "text": rule.description if rule else ""
+                    },
+                }
+            )
+        results = [
+            {
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {"startLine": max(1, f.line)},
+                        },
+                        "logicalLocations": (
+                            [{"fullyQualifiedName": f.symbol}] if f.symbol else []
+                        ),
+                    }
+                ],
+                "partialFingerprints": {"wsrfcheck/v1": f.fingerprint},
+            }
+            for f in self.findings
+        ]
+        doc = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "wsrfcheck",
+                            "informationUri": "docs/static_analysis.md",
+                            "rules": rules_json,
+                        }
+                    },
+                    "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(doc, indent=2)
 
 
 def analyze_paths(
@@ -238,7 +396,9 @@ def analyze_paths(
 
     *rules* restricts to the given codes (default: all).  *baseline* is
     a set of accepted fingerprints; matching findings are counted but
-    not reported.
+    not reported, and baseline entries matching nothing are reported as
+    stale (the ratchet).  Program rules run after the per-module pass,
+    over a :class:`ProgramContext` carrying the call graph.
     """
     report = AnalysisReport()
     files = collect_files(paths)
@@ -259,21 +419,54 @@ def analyze_paths(
     catalog = [
         rule for rule in iter_rules() if wanted is None or rule.code in wanted
     ]
+    module_rules = [rule for rule in catalog if not rule.program]
+    program_rules = [rule for rule in catalog if rule.program]
 
     accepted = baseline or set()
     findings: List[Finding] = []
+    contexts: List[ModuleContext] = []
+    by_path: Dict[str, ModuleContext] = {}
+
+    def classify(ctx: Optional[ModuleContext], finding: Finding) -> None:
+        if ctx is not None and ctx.suppressed(finding.line, finding.rule):
+            report.suppressed += 1
+            report.suppressed_findings.append(finding)
+        elif finding.fingerprint in accepted:
+            report.baselined += 1
+            report.matched_baseline.add(finding.fingerprint)
+        else:
+            findings.append(finding)
+
     for module, rel, tree, source_lines in parsed:
         ctx = ModuleContext(
             path=rel, module=module, tree=tree,
             source_lines=source_lines, model=model,
         )
-        for rule in catalog:
+        contexts.append(ctx)
+        by_path[rel] = ctx
+        for rule in module_rules:
             for finding in rule.fn(ctx):
-                if ctx.suppressed(finding.line, finding.rule):
-                    report.suppressed += 1
-                elif finding.fingerprint in accepted:
-                    report.baselined += 1
-                else:
-                    findings.append(finding)
+                classify(ctx, finding)
+
+    if program_rules:
+        from repro.analysis.callgraph import build_callgraph, process_roots
+
+        module_triples = [(m, p, t) for m, p, t, _ in parsed]
+        graph = build_callgraph(module_triples, model)
+        program_ctx = ProgramContext(
+            modules=contexts,
+            model=model,
+            callgraph=graph,
+            process_roots=process_roots(module_triples, graph),
+        )
+        for rule in program_rules:
+            for finding in rule.fn(program_ctx):
+                classify(by_path.get(finding.path), finding)
+
+    if wanted is None:
+        # Stale detection needs the full catalog: a --rules-restricted
+        # run has no opinion about entries belonging to other rules.
+        report.stale_baseline = sorted(accepted - report.matched_baseline)
     report.findings = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    report.suppressed_findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return report

@@ -1,10 +1,15 @@
-"""The wsrfcheck rule catalog (WSRF001-003, DET001, SIM001-002).
+"""The per-module wsrfcheck rules (WSRF001-003, DET001, WAL001, SIM001).
 
 Each rule is a generator over one module's AST plus the global contract
 model; see ``docs/static_analysis.md`` for the catalog with examples
 and the suppression syntax.  Rules favor precision over recall: a site
 the analysis cannot resolve statically (computed method names, dynamic
 namespaces) is skipped, not guessed at.
+
+The whole-program rules (WSRF004-005, DET002, WAL002, LOCK001) live in
+:mod:`repro.analysis.rules_interproc`; they reuse the site detectors
+defined here (``det_source_sites``, ``store_mutation``) so the two
+tiers agree on what counts as a source.
 """
 
 from __future__ import annotations
@@ -379,31 +384,22 @@ def _timer_allowlisted(path: str) -> bool:
     return normalized.endswith(DET001_TIMER_ALLOWLIST)
 
 
-@register_rule(
-    "DET001",
-    "nondeterminism",
-    "wall-clock reads, global RNG use, unseeded generators and "
-    "unordered set iteration break reproducible (seeded) runs",
-)
-def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
-    symbols = enclosing_symbols(ctx.tree)
+def det_source_sites(
+    tree: ast.Module, path: str
+) -> Iterator[Tuple[ast.AST, str]]:
+    """``(node, message)`` for every nondeterminism site in *tree*.
 
-    def finding(node: ast.AST, message: str) -> Finding:
-        return Finding(
-            rule="DET001",
-            path=ctx.path,
-            line=node.lineno,
-            symbol=symbols.get(id(node), ""),
-            message=message,
-        )
-
-    for node in ast.walk(ctx.tree):
+    Shared between DET001 (reports each site in place) and DET002
+    (seeds the interprocedural taint with the functions containing
+    them), so the two rules can never disagree on what a source is.
+    """
+    for node in ast.walk(tree):
         if isinstance(node, ast.Call):
             parts = dotted_parts(node.func)
             dotted = ".".join(parts)
             if tuple(parts[-2:]) in _WALLCLOCK and parts[0] == "time":
-                if not _timer_allowlisted(ctx.path):
-                    yield finding(
+                if not _timer_allowlisted(path):
+                    yield (
                         node,
                         f"{dotted}() reads the wall clock; use env.now so "
                         "runs are reproducible under the simulation clock",
@@ -411,13 +407,13 @@ def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
             elif len(parts) >= 2 and parts[-1] in _DATETIME_CALLS and (
                 "datetime" in parts[:-1] or parts[0] == "datetime"
             ):
-                yield finding(
+                yield (
                     node,
                     f"{dotted}() reads the wall clock; derive timestamps "
                     "from env.now instead",
                 )
             elif parts[:1] == ["random"] and len(parts) == 2:
-                yield finding(
+                yield (
                     node,
                     f"{dotted}() uses the process-global random state; "
                     "thread an explicitly seeded np.random.Generator through "
@@ -431,29 +427,29 @@ def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
                 and parts[-1] != "Generator"
                 and len(parts) == 3
             ):
-                yield finding(
+                yield (
                     node,
                     f"{dotted}() draws from numpy's global RNG; use an "
                     "explicitly seeded np.random.default_rng(seed)",
                 )
             elif parts[-2:] == ["random", "default_rng"] or parts == ["default_rng"]:
                 if not node.args and not node.keywords:
-                    yield finding(
+                    yield (
                         node,
                         "default_rng() without a seed is entropy-seeded; "
                         "pass an explicit seed so chaos/property tests "
                         "reproduce",
                     )
             elif parts[:1] == ["uuid"] and parts[-1] in _UUID_CALLS:
-                yield finding(
+                yield (
                     node,
                     f"{dotted}() is nondeterministic; derive ids from a "
                     "seeded counter (see repro.wsa.headers)",
                 )
             elif parts[:1] == ["os"] and parts[-1] == "urandom":
-                yield finding(node, "os.urandom() is nondeterministic")
+                yield (node, "os.urandom() is nondeterministic")
             elif parts[:1] == ["secrets"]:
-                yield finding(node, f"{dotted}() is nondeterministic")
+                yield (node, f"{dotted}() is nondeterministic")
         elif isinstance(node, (ast.For, ast.comprehension)):
             it = node.iter
             if isinstance(it, ast.Set) or (
@@ -461,11 +457,29 @@ def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
                 and isinstance(it.func, ast.Name)
                 and it.func.id in ("set", "frozenset")
             ):
-                yield finding(
+                yield (
                     node if isinstance(node, ast.For) else it,
                     "iterating an unordered set: wrap in sorted(...) so "
                     "downstream decisions are order-stable",
                 )
+
+
+@register_rule(
+    "DET001",
+    "nondeterminism",
+    "wall-clock reads, global RNG use, unseeded generators and "
+    "unordered set iteration break reproducible (seeded) runs",
+)
+def check_determinism(ctx: ModuleContext) -> Iterator[Finding]:
+    symbols = enclosing_symbols(ctx.tree)
+    for node, message in det_source_sites(ctx.tree, ctx.path):
+        yield Finding(
+            rule="DET001",
+            path=ctx.path,
+            line=node.lineno,
+            symbol=symbols.get(id(node), ""),
+            message=message,
+        )
 
 
 # -- SIM001: real blocking calls ---------------------------------------------------
@@ -521,12 +535,12 @@ def check_blocking(ctx: ModuleContext) -> Iterator[Finding]:
             )
 
 
-# -- SIM002: unsynchronized shared-state mutation ----------------------------------
+# -- shared-state mutation sites (used by LOCK001 in rules_interproc) --------------
 
 _STORE_MUTATIONS = {"save", "destroy", "create"}
 
 
-def _store_mutation(node: ast.Call) -> Optional[str]:
+def store_mutation(node: ast.Call) -> Optional[str]:
     """'store.save' if this call mutates the resource store, else None."""
     func = node.func
     if not isinstance(func, ast.Attribute):
@@ -540,60 +554,3 @@ def _store_mutation(node: ast.Call) -> Optional[str]:
     ):
         return f"store.{func.attr}"
     return None
-
-
-@register_rule(
-    "SIM002",
-    "unsynchronized shared-state mutation from a sim process",
-    "detached processes mutating WS-Resource state must hold the "
-    "resource's Lock (repro.sim.sync) across the load-modify-save span",
-)
-def check_process_mutation(ctx: ModuleContext) -> Iterator[Finding]:
-    symbols = enclosing_symbols(ctx.tree)
-
-    # 1) names of functions handed to env.process(...)
-    process_fns: set = set()
-    for node in ast.walk(ctx.tree):
-        if not (
-            isinstance(node, ast.Call)
-            and call_name(node.func) == "process"
-            and node.args
-        ):
-            continue
-        target = node.args[0]
-        if isinstance(target, ast.Call):
-            process_fns.add(call_name(target.func))
-        elif isinstance(target, (ast.Name, ast.Attribute)):
-            process_fns.add(call_name(target))
-
-    # 2) inside those bodies, every store mutation needs a prior acquire()
-    for fn_node in ast.walk(ctx.tree):
-        if not isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        if fn_node.name not in process_fns:
-            continue
-        acquire_lines = [
-            sub.lineno
-            for sub in ast.walk(fn_node)
-            if isinstance(sub, ast.Call) and call_name(sub.func) == "acquire"
-        ]
-        for sub in ast.walk(fn_node):
-            if not isinstance(sub, ast.Call):
-                continue
-            mutation = _store_mutation(sub)
-            if mutation is None:
-                continue
-            if any(line <= sub.lineno for line in acquire_lines):
-                continue
-            yield Finding(
-                rule="SIM002",
-                path=ctx.path,
-                line=sub.lineno,
-                symbol=symbols.get(id(sub), ""),
-                message=(
-                    f"process body {fn_node.name!r} calls {mutation}() "
-                    "without first acquiring the resource Lock; concurrent "
-                    "handlers doing load-modify-save on the same WS-Resource "
-                    "can lose updates"
-                ),
-            )

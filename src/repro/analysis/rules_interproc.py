@@ -1,0 +1,817 @@
+"""Whole-program wsrfcheck rules (WSRF004-005, DET002, WAL002, LOCK001).
+
+These run once per analysis over a :class:`~repro.analysis.engine.ProgramContext`
+— every parsed module plus the module-qualified call graph
+(:mod:`repro.analysis.callgraph`) — so they can follow a contract
+violation through helper layers the per-module rules cannot see:
+
+- **WSRF004** — a resource handle is used (invoked, loaded, saved,
+  re-destroyed) after a statement that definitely destroyed it, where
+  "destroys" is computed interprocedurally (a helper whose body
+  destroys its parameter destroys at its call sites too);
+- **WSRF005** — an EndpointReference escapes into module- or
+  class-level state outside a resource store: after a host restart
+  those handles dangle (docs/durability.md);
+- **DET002** — a nondeterminism source (the same sites DET001 flags,
+  via :func:`repro.analysis.rules.det_source_sites`) is reachable from
+  a sim-visible entry point (service method or detached process root)
+  through at least one helper hop;
+- **WAL002** — ``fire_and_forget`` is reachable from a service method
+  through helpers, sidestepping the write-ahead outbox (WAL001 only
+  sees sends lexically inside the service class);
+- **LOCK001** — a resource-store mutation can execute on a path from a
+  detached process root with no resource Lock acquired anywhere along
+  the chain (the interprocedural successor of the old per-file SIM002).
+
+Like the per-module rules, every resolution here is conservative:
+precision over recall, so a finding always has a concrete witness
+chain and an unresolvable call site never manufactures one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallEdge, CallGraph, FunctionNode
+from repro.analysis.dataflow import TaintSource, propagate
+from repro.analysis.engine import (
+    Finding,
+    ProgramContext,
+    register_program_rule,
+)
+from repro.analysis.rules import call_name, det_source_sites, store_mutation
+
+# -- shared graph/AST helpers ------------------------------------------------------
+
+
+def _nested_index(graph: CallGraph) -> Dict[str, Set[int]]:
+    """``qualname -> {id(node) of every function nested inside it}``.
+
+    Built once per graph (cached on the instance): the rules call
+    :func:`_own_nodes` hot, and rescanning all functions per call is
+    quadratic on the real tree.
+    """
+    cached = getattr(graph, "_nested_index_cache", None)
+    if cached is None:
+        cached = {qualname: set() for qualname in graph.functions}
+        for g in graph.functions.values():
+            parts = g.qualname.split(".")
+            for i in range(1, len(parts)):
+                ancestor = ".".join(parts[:i])
+                if ancestor in cached:
+                    cached[ancestor].add(id(g.node))
+        graph._nested_index_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _own_nodes(fn: FunctionNode, graph: CallGraph) -> Iterator[ast.AST]:
+    """AST nodes lexically inside *fn*, excluding nested defs/classes."""
+    nested = _nested_index(graph).get(fn.qualname, set())
+
+    def walk(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if id(child) in nested or isinstance(child, ast.ClassDef):
+                continue
+            yield child
+            yield from walk(child)
+
+    yield from walk(fn.node)
+
+
+def _own_calls(fn: FunctionNode, graph: CallGraph) -> List[ast.Call]:
+    return [n for n in _own_nodes(fn, graph) if isinstance(n, ast.Call)]
+
+
+def _owner_index(graph: CallGraph, module: str) -> Dict[int, FunctionNode]:
+    """id(ast node) -> the function lexically owning it, for one module."""
+    owners: Dict[int, FunctionNode] = {}
+    for fn in graph.functions.values():
+        if fn.module != module:
+            continue
+        for node in _own_nodes(fn, graph):
+            owners[id(node)] = fn
+    return owners
+
+
+def _fn_symbol(fn: FunctionNode) -> str:
+    """The enclosing-scope symbol for a finding inside *fn*.
+
+    Matches the per-module ``enclosing_symbols`` convention
+    ("Class.method", plain "fn", nested "outer.inner") so fingerprints
+    from both tiers live in the same namespace.
+    """
+    prefix = fn.module + "."
+    if fn.qualname.startswith(prefix):
+        return fn.qualname[len(prefix):]
+    return fn.qualname
+
+
+def _short(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+def _edge_at(
+    graph: CallGraph, caller: str, call: ast.Call
+) -> Optional[CallEdge]:
+    """The resolved edge for a concrete call expression, if any."""
+    name = call_name(call.func)
+    for edge in graph.callees(caller):
+        if edge.lineno == call.lineno and _short(edge.callee) == name:
+            return edge
+    return None
+
+
+def _sorted_functions(graph: CallGraph) -> List[FunctionNode]:
+    return sorted(graph.functions.values(), key=lambda f: f.qualname)
+
+
+def _acquire_lines(fn: FunctionNode, graph: CallGraph) -> List[int]:
+    return [
+        call.lineno
+        for call in _own_calls(fn, graph)
+        if call_name(call.func) == "acquire"
+    ]
+
+
+def _param_names(fn: FunctionNode) -> List[str]:
+    args = fn.node.args  # type: ignore[attr-defined]
+    return [p.arg for p in [*args.posonlyargs, *args.args]]
+
+
+def _is_service_method(fn: FunctionNode, pctx: ProgramContext) -> bool:
+    return bool(fn.class_name) and fn.class_name in pctx.model.service_classes
+
+
+def _dispatch_classes(pctx: ProgramContext) -> Set[str]:
+    """Service classes plus SpecPortType subclasses.
+
+    Port-type methods (Subscribe, RegisterPublisher, ...) run inside
+    the same dispatch pipeline as author ``@WebMethod`` code — the
+    write-ahead and determinism contracts bind them equally — but they
+    are not ServiceSkeleton subclasses, so the per-module rules never
+    see them as services.
+    """
+    model = pctx.model
+    out: Set[str] = set(model.service_classes)
+    roots = {"SpecPortType"}
+    changed = True
+    while changed:
+        changed = False
+        for name, info in model.classes.items():
+            if name in out:
+                continue
+            if any(b in roots or b in out for b in info.bases):
+                out.add(name)
+                changed = True
+    return out
+
+
+# -- WSRF004: use after destroy ----------------------------------------------------
+
+
+def _bare_arg(call: ast.Call, index: int) -> Optional[str]:
+    if len(call.args) > index and isinstance(call.args[index], ast.Name):
+        return call.args[index].id  # type: ignore[attr-defined]
+    return None
+
+
+def _store_base(func: ast.expr) -> bool:
+    """True for ``<...>.store.<op>`` / ``store.<op>`` attribute chains."""
+    if not isinstance(func, ast.Attribute):
+        return False
+    value = func.value
+    return (isinstance(value, ast.Attribute) and value.attr == "store") or (
+        isinstance(value, ast.Name) and value.id == "store"
+    )
+
+
+def _direct_destroy(call: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(var, description)`` when this call destroys a bare-Name handle."""
+    name = call_name(call.func)
+    if name == "call" and len(call.args) >= 3:
+        method = call.args[2]
+        if (
+            isinstance(method, ast.Constant)
+            and method.value == "Destroy"
+        ):
+            var = _bare_arg(call, 0)
+            if var is not None:
+                return (var, "client.call(..., 'Destroy')")
+    if name == "destroy_resource":
+        var = _bare_arg(call, 0)
+        if var is not None:
+            return (var, "destroy_resource()")
+    if name == "destroy" and _store_base(call.func):
+        var = _bare_arg(call, 1)
+        if var is not None:
+            return (var, "store.destroy()")
+    return None
+
+
+def _destroyer_params(graph: CallGraph) -> Dict[str, Dict[int, str]]:
+    """``qualname -> {param index: description}`` for destroyer helpers.
+
+    A function destroys its parameter when its body (or, via fixpoint,
+    a helper it calls) destroys that bare name.
+    """
+    destroyers: Dict[str, Dict[int, str]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for fn in _sorted_functions(graph):
+            params = {p: i for i, p in enumerate(_param_names(fn))}
+            current = destroyers.setdefault(fn.qualname, {})
+            for call in _own_calls(fn, graph):
+                for var, how in _destroys_of(call, fn, graph, destroyers):
+                    index = params.get(var)
+                    if index is not None and index not in current:
+                        current[index] = how
+                        changed = True
+    return destroyers
+
+
+def _destroys_of(
+    call: ast.Call,
+    fn: FunctionNode,
+    graph: CallGraph,
+    destroyers: Dict[str, Dict[int, str]],
+) -> List[Tuple[str, str]]:
+    """Every ``(var, description)`` this call destroys, direct or via helper."""
+    out: List[Tuple[str, str]] = []
+    direct = _direct_destroy(call)
+    if direct is not None:
+        out.append(direct)
+    edge = _edge_at(graph, fn.qualname, call)
+    if edge is not None:
+        callee = graph.functions[edge.callee]
+        # bound method calls pass self implicitly: arg i is param i+1
+        offset = 1 if callee.class_name and isinstance(call.func, ast.Attribute) else 0
+        for index, how in destroyers.get(edge.callee, {}).items():
+            var = _bare_arg(call, index - offset)
+            if var is not None:
+                out.append((var, f"{_short(edge.callee)}() -> {how}"))
+    return out
+
+
+#: call patterns that *use* a resource handle: call name -> handle arg index
+_HANDLE_USES: Dict[str, int] = {
+    "call": 0,
+    "get_resource_property": 0,
+    "get_multiple_resource_properties": 0,
+    "epr_for": 0,
+    "db_load": 0,
+    "db_save": 0,
+    "set_termination_time": 0,
+}
+#: store operations taking (service, resource_id)
+_STORE_USES: Dict[str, int] = {"load": 1, "save": 1, "exists": 1}
+
+
+def _handle_uses(call: ast.Call) -> List[Tuple[str, str]]:
+    """``(var, description)`` for each destroyed-handle-sensitive use."""
+    name = call_name(call.func)
+    out: List[Tuple[str, str]] = []
+    if name in _HANDLE_USES:
+        var = _bare_arg(call, _HANDLE_USES[name])
+        if var is not None:
+            out.append((var, f"{name}()"))
+    elif name in _STORE_USES and _store_base(call.func):
+        var = _bare_arg(call, _STORE_USES[name])
+        if var is not None:
+            out.append((var, f"store.{name}()"))
+    return out
+
+
+class _DestroyScanner:
+    """Forward definite-destroy walk over one function body.
+
+    Tracks variables that are *definitely* destroyed at each statement
+    (branch merge is intersection; loops and try bodies propagate the
+    entry state past the block) and flags later statements that use
+    them.  Same-statement use+destroy never flags: ``destroy(rid)``
+    obviously mentions ``rid``.
+    """
+
+    def __init__(
+        self,
+        fn: FunctionNode,
+        graph: CallGraph,
+        destroyers: Dict[str, Dict[int, str]],
+    ) -> None:
+        self.fn = fn
+        self.graph = graph
+        self.destroyers = destroyers
+        self.own_ids = {id(n) for n in _own_nodes(fn, graph)}
+        self.hits: List[Tuple[ast.Call, str, str, str]] = []
+
+    def scan(self) -> List[Tuple[ast.Call, str, str, str]]:
+        body = getattr(self.fn.node, "body", [])
+        self._block(body, {})
+        return self.hits
+
+    # destroyed: var -> description of the destroying event
+    def _block(self, stmts: List[ast.stmt], destroyed: Dict[str, str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                then_state = dict(destroyed)
+                else_state = dict(destroyed)
+                self._block(stmt.body, then_state)
+                self._block(stmt.orelse, else_state)
+                destroyed.clear()
+                destroyed.update(
+                    {v: d for v, d in then_state.items() if v in else_state}
+                )
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                # loop may run zero times: body effects don't escape, but
+                # use-after-destroy inside one body pass still flags
+                body_state = dict(destroyed)
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    self._clear_targets(stmt.target, body_state)
+                    self._clear_targets(stmt.target, destroyed)
+                self._block([*stmt.body, *stmt.orelse], body_state)
+                continue
+            if isinstance(stmt, ast.Try):
+                body_state = dict(destroyed)
+                self._block(stmt.body, body_state)
+                for handler in stmt.handlers:
+                    self._block(handler.body, dict(destroyed))
+                self._block(stmt.orelse, dict(body_state))
+                # finally always runs; entry state is the conservative one
+                self._block(stmt.finalbody, destroyed)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._simple(item.context_expr, destroyed)
+                self._block(stmt.body, destroyed)  # body definitely runs
+                continue
+            self._simple(stmt, destroyed)
+
+    def _clear_targets(self, target: ast.expr, destroyed: Dict[str, str]) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                destroyed.pop(node.id, None)
+
+    def _simple(self, stmt: ast.AST, destroyed: Dict[str, str]) -> None:
+        calls = [
+            n
+            for n in ast.walk(stmt)
+            if isinstance(n, ast.Call) and id(n) in self.own_ids
+        ]
+        # uses first: destruction earlier in *this* statement doesn't count
+        for call in calls:
+            for var, use in _handle_uses(call):
+                if var in destroyed:
+                    self.hits.append((call, var, use, destroyed[var]))
+            for var, _how in _destroys_of(call, self.fn, self.graph, self.destroyers):
+                if var in destroyed:
+                    self.hits.append(
+                        (call, var, "a second destroy", destroyed[var])
+                    )
+        for call in calls:
+            for var, how in _destroys_of(call, self.fn, self.graph, self.destroyers):
+                destroyed[var] = how
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    destroyed.pop(target.id, None)
+
+
+@register_program_rule(
+    "WSRF004",
+    "use after destroy",
+    "a resource handle must not be invoked, loaded, saved or destroyed "
+    "again after a statement that definitely destroyed it; the runtime "
+    "answer is ResourceUnknownFault, and destroys through helper "
+    "functions count (interprocedural)",
+)
+def check_use_after_destroy(pctx: ProgramContext) -> Iterator[Finding]:
+    graph: CallGraph = pctx.callgraph  # type: ignore[assignment]
+    destroyers = _destroyer_params(graph)
+    for fn in _sorted_functions(graph):
+        for call, var, use, how in _DestroyScanner(fn, graph, destroyers).scan():
+            yield Finding(
+                rule="WSRF004",
+                path=fn.path,
+                line=call.lineno,
+                symbol=_fn_symbol(fn),
+                message=(
+                    f"resource handle {var!r} is used ({use}) after being "
+                    f"destroyed by {how} earlier in {fn.name}; the resource "
+                    "is gone, so this raises ResourceUnknownFault at runtime"
+                ),
+            )
+
+
+# -- WSRF005: EPR escape into module/class globals ---------------------------------
+
+#: primitives whose return value is an EndpointReference
+_EPR_PRIMITIVES = {"epr_for", "service_epr", "my_epr", "EndpointReference"}
+
+#: mutating container methods that capture their argument
+_CONTAINER_ADDERS = {"append", "add", "insert", "setdefault"}
+
+
+def _epr_producers(graph: CallGraph) -> Set[str]:
+    """Functions whose return value is (transitively) an EPR."""
+    producers: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for fn in _sorted_functions(graph):
+            if fn.qualname in producers:
+                continue
+            for node in _own_nodes(fn, graph):
+                if not (isinstance(node, ast.Return) and node.value is not None):
+                    continue
+                if _is_epr_expr(node.value, fn.qualname, graph, producers):
+                    producers.add(fn.qualname)
+                    changed = True
+                    break
+    return producers
+
+
+def _is_epr_expr(
+    node: ast.expr,
+    caller: Optional[str],
+    graph: CallGraph,
+    producers: Set[str],
+) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if call_name(node.func) in _EPR_PRIMITIVES:
+        return True
+    if caller is not None:
+        edge = _edge_at(graph, caller, node)
+        if edge is not None and edge.callee in producers:
+            return True
+    # module-level (or unresolved) sites: a bare name that uniquely
+    # names a producer in the analyzed tree still counts
+    name = call_name(node.func)
+    candidates = graph.by_name.get(name, [])
+    return bool(candidates) and all(q in producers for q in candidates)
+
+
+def _module_containers(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to mutable container literals."""
+    out: Set[str] = set()
+    for stmt in tree.body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        value = stmt.value
+        is_container = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("dict", "list", "set", "defaultdict", "OrderedDict")
+        )
+        if not is_container:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+def _is_store_module(path: str) -> bool:
+    return "/db/" in path.replace("\\", "/")
+
+
+@register_program_rule(
+    "WSRF005",
+    "EPR escapes into module/class globals",
+    "EndpointReferences stored in module-level or class-level state "
+    "outside a resource store dangle after a host restart: the handle "
+    "survives in process memory while the resource it points at is "
+    "rebuilt or gone (docs/durability.md); keep handles in WS-Resource "
+    "state or re-derive them per use",
+)
+def check_epr_escape(pctx: ProgramContext) -> Iterator[Finding]:
+    graph: CallGraph = pctx.callgraph  # type: ignore[assignment]
+    producers = _epr_producers(graph)
+
+    def finding(ctx_path: str, node: ast.AST, symbol: str, where: str) -> Finding:
+        return Finding(
+            rule="WSRF005",
+            path=ctx_path,
+            line=node.lineno,  # type: ignore[attr-defined]
+            symbol=symbol,
+            message=(
+                f"EndpointReference stored into {where}; module/class "
+                "globals outlive the resources they point at across a "
+                "host restart — keep handles in WS-Resource state or "
+                "re-derive them per use"
+            ),
+        )
+
+    for ctx in pctx.modules:
+        if _is_store_module(ctx.path):
+            continue
+        containers = _module_containers(ctx.tree)
+
+        # module-level: X = <epr-expr>
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)) and stmt.value is not None:
+                if _is_epr_expr(stmt.value, None, graph, producers):
+                    yield finding(
+                        ctx.path, stmt, "", "a module-level global"
+                    )
+
+        # inside functions: global names, Class.attr, module containers
+        for fn in _sorted_functions(graph):
+            if fn.module != ctx.module:
+                continue
+            symbol = _fn_symbol(fn)
+            own = list(_own_nodes(fn, graph))
+            globals_here = {
+                name
+                for sub in own
+                if isinstance(sub, ast.Global)
+                for name in sub.names
+            }
+            for node in own:
+                yield from _escapes_in(
+                    node, fn, ctx, pctx, graph, producers, containers,
+                    globals_here, symbol, finding,
+                )
+
+
+def _escapes_in(
+    node, fn, ctx, pctx, graph, producers, containers,
+    globals_here, symbol, finding
+):
+    if isinstance(node, (ast.Assign, ast.AnnAssign)) and node.value is not None:
+        if not _is_epr_expr(node.value, fn.qualname, graph, producers):
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in globals_here:
+                yield finding(
+                    ctx.path, node, symbol,
+                    f"module global {target.id!r}",
+                )
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in pctx.model.classes
+            ):
+                yield finding(
+                    ctx.path, node, symbol,
+                    f"class attribute {target.value.id}.{target.attr}",
+                )
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in containers
+            ):
+                yield finding(
+                    ctx.path, node, symbol,
+                    f"module-level container {target.value.id!r}",
+                )
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _CONTAINER_ADDERS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in containers
+        ):
+            return
+        if any(
+            _is_epr_expr(arg, fn.qualname, graph, producers)
+            for arg in node.args
+        ):
+            yield finding(
+                ctx.path, node, symbol,
+                f"module-level container {func.value.id!r}",
+            )
+
+
+# -- DET002: nondeterminism reaching sim-visible state through helpers -------------
+
+
+@register_program_rule(
+    "DET002",
+    "nondeterminism reachable through helper calls",
+    "a service method or detached process root transitively calls a "
+    "helper containing a nondeterminism source (wall clock, global "
+    "RNG, uuid) — the same sites DET001 flags in place, followed "
+    "through the call graph with a witness chain",
+)
+def check_interproc_determinism(pctx: ProgramContext) -> Iterator[Finding]:
+    graph: CallGraph = pctx.callgraph  # type: ignore[assignment]
+    sources: List[TaintSource] = []
+    for ctx in pctx.modules:
+        owners = _owner_index(graph, ctx.module)
+        for node, message in det_source_sites(ctx.tree, ctx.path):
+            line = getattr(node, "lineno", 0)
+            if ctx.suppressed(line, "DET001") or ctx.suppressed(line, "DET002"):
+                continue  # an accepted source doesn't taint its callers
+            fn = owners.get(id(node))
+            if fn is None:
+                continue  # module-level site: DET001 reports it in place
+            reason = message.split(";")[0]
+            sources.append(TaintSource(fn.qualname, line, reason))
+
+    taints = propagate(graph, sources)
+    dispatch = _dispatch_classes(pctx)
+    entry_points = sorted(
+        {
+            fn.qualname
+            for fn in graph.functions.values()
+            if fn.class_name and fn.class_name in dispatch
+        }
+        | set(pctx.process_roots)
+    )
+    for qualname in entry_points:
+        taint = taints.get(qualname)
+        if taint is None or taint.depth == 0:
+            continue  # depth 0 is DET001's site, already flagged in place
+        fn = graph.functions[qualname]
+        first = taint.chain[0]
+        if _is_service_method(fn, pctx):
+            kind = "service method"
+        elif fn.class_name and fn.class_name in dispatch:
+            kind = "port-type method"
+        else:
+            kind = "detached process"
+        yield Finding(
+            rule="DET002",
+            path=fn.path,
+            line=first.lineno,
+            symbol=_fn_symbol(fn),
+            message=(
+                f"{kind} {fn.name} reaches nondeterminism through "
+                f"helper calls: {taint.describe()}; seeded runs stop "
+                "reproducing even though this file looks clean"
+            ),
+        )
+
+
+# -- WAL002: fire_and_forget reachable from dispatch through helpers ---------------
+
+#: path suffixes sanctioned to carry the raw send primitive: the
+#: write-ahead outbox itself and the notification base machinery
+WAL002_SANCTIONED = ("wsrf/tooling.py", "wsn/base_notification.py")
+
+
+def _wal_sanctioned(path: str) -> bool:
+    return path.replace("\\", "/").endswith(WAL002_SANCTIONED)
+
+
+@register_program_rule(
+    "WAL002",
+    "notification send reachable from dispatch through helpers",
+    "a service method transitively reaches fire_and_forget through "
+    "helper functions, so the send can leave the host before the "
+    "dispatch pipeline's db_save persists the state it announces "
+    "(WAL001 only sees sends lexically inside the service class); "
+    "route the chain through self.wsrf.send_after_persist",
+)
+def check_interproc_write_ahead(pctx: ProgramContext) -> Iterator[Finding]:
+    graph: CallGraph = pctx.callgraph  # type: ignore[assignment]
+    dispatch = _dispatch_classes(pctx)
+    sources: List[TaintSource] = []
+    for fn in _sorted_functions(graph):
+        if _wal_sanctioned(fn.path):
+            continue  # the outbox/base machinery legitimately sends raw
+        if _is_service_method(fn, pctx):
+            continue  # lexically in a service class: WAL001's site
+        for call in _own_calls(fn, graph):
+            if call_name(call.func) == "fire_and_forget":
+                sources.append(
+                    TaintSource(
+                        fn.qualname, call.lineno,
+                        f"fire_and_forget in {fn.name}",
+                    )
+                )
+                break
+
+    taints = propagate(
+        graph, sources, barrier=lambda q: _wal_sanctioned(graph.functions[q].path)
+    )
+    for fn in _sorted_functions(graph):
+        if not (fn.class_name and fn.class_name in dispatch):
+            continue
+        taint = taints.get(fn.qualname)
+        if taint is None:
+            continue
+        if taint.depth == 0:
+            if _is_service_method(fn, pctx):
+                continue  # WAL001 flags the lexical site
+            # direct raw send inside a port-type method: same dispatch
+            # pipeline, invisible to WAL001's ServiceSkeleton scan
+            yield Finding(
+                rule="WAL002",
+                path=fn.path,
+                line=taint.source.lineno,
+                symbol=_fn_symbol(fn),
+                message=(
+                    f"port-type method {fn.name} calls fire_and_forget "
+                    "inside the dispatch pipeline; the message can outrun "
+                    "the db_save stage — route it through the invocation's "
+                    "send_after_persist so it leaves only after the state "
+                    "it announces is durable"
+                ),
+            )
+            continue
+        kind = (
+            "service method" if _is_service_method(fn, pctx) else "port-type method"
+        )
+        first = taint.chain[0]
+        yield Finding(
+            rule="WAL002",
+            path=fn.path,
+            line=first.lineno,
+            symbol=_fn_symbol(fn),
+            message=(
+                f"{kind} {fn.name} reaches a raw notification "
+                f"send through helpers: {taint.describe()}; the message "
+                "can outrun the db_save stage — route it through "
+                "self.wsrf.send_after_persist so it leaves only after "
+                "the state it announces is durable"
+            ),
+        )
+
+
+# -- LOCK001: store mutation reachable from a process root without the lock --------
+
+#: function names that run strictly before concurrent dispatch starts
+#: (crash recovery rebuilds state single-threaded; the locks it would
+#: take died with the previous boot — docs/durability.md)
+LOCK001_RECOVERY_ALLOWLIST = ("restore", "wsrf_recover", "snapshot")
+
+
+@register_program_rule(
+    "LOCK001",
+    "store mutation on an unlocked path from a detached process",
+    "a resource-store mutation (store.save/destroy/create or "
+    "destroy_resource) can execute on a call path from an "
+    "env.process(...) root with no resource Lock acquired anywhere "
+    "along the chain; a concurrent handler mid load-modify-save on the "
+    "same WS-Resource loses its write (interprocedural successor of "
+    "the per-file SIM002)",
+)
+def check_static_lockset(pctx: ProgramContext) -> Iterator[Finding]:
+    graph: CallGraph = pctx.callgraph  # type: ignore[assignment]
+    acquires = {
+        fn.qualname: _acquire_lines(fn, graph) for fn in graph.functions.values()
+    }
+
+    # breadth-first may-unlocked reachability from the process roots; a
+    # call site below an acquire() in its caller enters locked
+    unlocked: Dict[str, List[CallEdge]] = {}
+    queue: List[str] = []
+    for root in sorted(pctx.process_roots):
+        if root in graph.functions and root not in unlocked:
+            unlocked[root] = []
+            queue.append(root)
+    while queue:
+        current = queue.pop(0)
+        if _short(current) in LOCK001_RECOVERY_ALLOWLIST:
+            continue  # single-threaded recovery: no concurrent handlers
+        chain = unlocked[current]
+        acquired = acquires.get(current, [])
+        for edge in graph.callees(current):
+            if any(line <= edge.lineno for line in acquired):
+                continue  # the caller holds a lock at this call site
+            if edge.callee in unlocked or _short(edge.callee) in (
+                LOCK001_RECOVERY_ALLOWLIST
+            ):
+                continue
+            unlocked[edge.callee] = [*chain, edge]
+            queue.append(edge.callee)
+
+    for qualname in sorted(unlocked):
+        if _short(qualname) in LOCK001_RECOVERY_ALLOWLIST:
+            continue  # a recovery routine handed straight to env.process
+        fn = graph.functions[qualname]
+        acquired = acquires.get(qualname, [])
+        chain = unlocked[qualname]
+        for call in _own_calls(fn, graph):
+            mutation = store_mutation(call)
+            if mutation is None:
+                continue
+            if any(line <= call.lineno for line in acquired):
+                continue
+            root = chain[0].caller if chain else qualname
+            via = "".join(f" -> {_short(e.callee)}" for e in chain)
+            yield Finding(
+                rule="LOCK001",
+                path=fn.path,
+                line=call.lineno,
+                symbol=_fn_symbol(fn),
+                message=(
+                    f"{mutation}() runs with no resource Lock held on the "
+                    f"detached path {_short(root)}{via}; a concurrent "
+                    "handler doing load-modify-save on the same "
+                    "WS-Resource can lose its write — acquire "
+                    "wrapper.resource_lock(rid) across the span"
+                ),
+            )

@@ -1,0 +1,64 @@
+"""WSRF005 fixtures: EndpointReferences escaping into process-global state.
+
+Module and class globals outlive the resources they point at across a
+host restart (docs/durability.md); handles belong in WS-Resource state
+or should be re-derived per use.
+"""
+
+from repro.wsa import EndpointReference
+
+# WSRF005: a handle parked in a module-level global at import time.
+SCHEDULER_EPR = EndpointReference("soap.tcp://head01:9000/Scheduler")
+
+#: module-level containers the functions below leak into
+KNOWN_PEERS = []
+PEER_REGISTRY = {}
+
+_last_seen = None
+
+
+class PeerCache:
+    latest = None
+
+
+def _service_handle(wrapper):
+    # an EPR producer: callers of this helper produce EPRs too
+    return wrapper.service_epr()
+
+
+# WSRF005: producer-returned handle stored at module level (the escape
+# is one helper away from the epr primitive).
+BROKER_HANDLE = _service_handle(None)
+
+
+def remember_peer(wrapper, rid):
+    # WSRF005: appended into a module-level container.
+    KNOWN_PEERS.append(wrapper.epr_for(rid))
+
+
+def cache_in_registry(wrapper, rid):
+    # WSRF005: keyed into a module-level dict.
+    PEER_REGISTRY[rid] = wrapper.epr_for(rid)
+
+
+def stash_in_global(wrapper, rid):
+    global _last_seen
+    # WSRF005: rebinding a declared module global.
+    _last_seen = wrapper.epr_for(rid)
+
+
+def stash_in_class_attr(wrapper, rid):
+    # WSRF005: class attributes are process globals with a dot.
+    PeerCache.latest = wrapper.epr_for(rid)
+
+
+def local_handle_ok(wrapper, rid):
+    # OK: a local that dies with the call frame.
+    epr = wrapper.epr_for(rid)
+    return epr
+
+
+def accepted_registry_entry(wrapper, rid):
+    # The inline pragma accepts this one escape (audited: rebuilt on
+    # restart by the recovery path).
+    PEER_REGISTRY[rid] = wrapper.epr_for(rid)  # wsrfcheck: ignore[WSRF005]

@@ -1,7 +1,14 @@
-"""WAL001 fixtures: notifications racing the db_save stage."""
+"""WAL001/WAL002 fixtures: notifications racing the db_save stage.
+
+WAL001 sees ``fire_and_forget`` lexically inside a ServiceSkeleton
+subclass; WAL002 follows it through helper layers and into port-type
+methods, which run in the same dispatch pipeline without subclassing
+ServiceSkeleton.
+"""
 
 from repro.wsn.base_notification import build_notify_body, fire_and_forget
 from repro.wsrf.attributes import ServiceSkeleton, WebMethod
+from repro.wsrf.porttypes import SpecPortType
 from repro.xmlx import NS, Element, QName
 
 
@@ -31,6 +38,45 @@ class EagerAnnouncer(ServiceSkeleton):
 
 
 def relay(env, client, epr, body):
-    # OK: module-level helper, not service code — the infrastructure
-    # (producers, batchers) legitimately sends fire-and-forget.
+    # OK for WAL001: module-level helper, not service code — the
+    # infrastructure (producers, batchers) legitimately sends
+    # fire-and-forget.  It only becomes a WAL002 finding when a
+    # dispatch-pipeline method reaches it (LayeredAnnouncer below).
     fire_and_forget(env, client, epr, body)
+
+
+class LayeredAnnouncer(ServiceSkeleton):
+    SERVICE_NS = NS.UVACG
+
+    @WebMethod
+    def FinishLayered(self, epr, body) -> str:
+        # WAL002: the raw send hides one helper down — WAL001's lexical
+        # scan never sees it, the call graph does.
+        relay(self.env, self.client, epr, body)
+        return "ok"
+
+
+def _route_safely(ctx, epr, body):
+    # OK: the helper rides the invocation outbox.
+    ctx.send_after_persist(epr, body)
+
+
+class LayeredSafeAnnouncer(ServiceSkeleton):
+    SERVICE_NS = NS.UVACG
+
+    @WebMethod
+    def FinishSafelyLayered(self, epr, body) -> str:
+        # OK: helper chain ends in send_after_persist, not a raw send.
+        _route_safely(self.wsrf, epr, body)
+        return "ok"
+
+
+class DemandSignalPortType(SpecPortType):
+    """A port type sending raw — the dispatch pipeline without
+    ServiceSkeleton, so only WAL002's dispatch-class closure sees it."""
+
+    def signal(self, request: Element) -> Element:
+        body = Element(QName(NS.UVACG, "Signal"))
+        # WAL002 (depth 0): port-type method, invisible to WAL001.
+        fire_and_forget(self.wrapper.env, self.wrapper.client, request, body)
+        return body

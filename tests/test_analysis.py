@@ -13,7 +13,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis import analyze_paths, build_model, load_baseline, rule_catalog
-from repro.analysis.engine import Finding
+from repro.analysis.engine import Finding, prune_baseline, write_baseline
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
@@ -21,7 +21,10 @@ GOLDEN = REPO_ROOT / "tests" / "analysis_golden.json"
 BASELINE = REPO_ROOT / "wsrfcheck-baseline.json"
 
 #: rules whose baseline must be empty for tier-1 correctness
-CRITICAL_RULES = ("WSRF001", "WSRF002", "WSRF003", "DET001", "WAL001")
+CRITICAL_RULES = (
+    "WSRF001", "WSRF002", "WSRF003", "WSRF004",
+    "DET001", "WAL001", "WAL002", "LOCK001",
+)
 
 
 def analyze_fixtures(rules=None):
@@ -219,7 +222,9 @@ class TestRulesFire:
 
     def test_det001_suppression_pragma(self):
         report = analyze_fixtures(rules=["DET001"])
-        assert report.suppressed == 1
+        # nondeterminism.py suppressed_wall_clock + det_chains.py
+        # _accepted_wall_clock (the multi-rule pragma)
+        assert report.suppressed == 2
         assert not any(
             f.symbol == "suppressed_wall_clock" for f in report.findings
         )
@@ -228,11 +233,102 @@ class TestRulesFire:
         symbols = {f.symbol for f in findings_for("SIM001")}
         assert symbols == {"real_sleep", "real_socket", "real_file_read"}
 
-    def test_sim002_unsynchronized_mutation(self):
-        symbols = {f.symbol for f in findings_for("SIM002")}
-        assert "start_unsafe_sweeper.sweeper" in symbols
-        assert "start_unsafe_reaper.reaper" in symbols
+
+class TestInterprocRulesFire:
+    """The whole-program tier: WSRF004/WSRF005, DET002, WAL002, LOCK001."""
+
+    def test_wsrf004_use_after_destroy(self):
+        symbols = {f.symbol for f in findings_for("WSRF004")}
+        assert symbols == {
+            "destroy_then_call",        # client.call(..., 'Destroy') then call
+            "destroy_then_load",        # destroy_resource then store.load
+            "double_destroy",           # destroy twice
+            "destroy_via_helper_then_use",  # destroyer helper then epr_for
+        }
+
+    def test_wsrf004_helper_chain_in_message(self):
+        by_symbol = {f.symbol: f.message for f in findings_for("WSRF004")}
+        assert "_retire() -> destroy_resource()" in by_symbol[
+            "destroy_via_helper_then_use"
+        ]
+
+    def test_wsrf004_definite_destroy_only(self):
+        symbols = {f.symbol for f in findings_for("WSRF004")}
+        assert "conditional_destroy_ok" not in symbols  # one branch only
+        assert "reassign_after_destroy_ok" not in symbols  # handle rebound
+        assert "destroy_last_ok" not in symbols  # destroy is the last touch
+
+    def test_wsrf005_epr_escape(self):
+        findings = findings_for("WSRF005")
+        symbols = {f.symbol for f in findings}
+        assert symbols >= {
+            "remember_peer", "cache_in_registry",
+            "stash_in_global", "stash_in_class_attr",
+        }
+        # the two module-level assignments report with no symbol
+        module_level = [f for f in findings if f.symbol == ""]
+        assert len(module_level) == 2  # SCHEDULER_EPR + BROKER_HANDLE
+        assert "local_handle_ok" not in symbols
+
+    def test_wsrf005_suppression(self):
+        report = analyze_fixtures(rules=["WSRF005"])
+        assert report.suppressed == 1
+        assert not any(
+            f.symbol == "accepted_registry_entry" for f in report.findings
+        )
+
+    def test_det002_taint_through_helpers(self):
+        by_symbol = {f.symbol: f.message for f in findings_for("DET002")}
+        assert set(by_symbol) == {
+            "TimestampingService.Stamp", "start_jitter_process.jitter",
+        }
+        # the witness chain names the helper and the source
+        assert "_wall_clock_tag -> time.time()" in by_symbol[
+            "TimestampingService.Stamp"
+        ]
+        assert "detached process jitter" in by_symbol[
+            "start_jitter_process.jitter"
+        ]
+
+    def test_det002_clean_and_suppressed_chains(self):
+        symbols = {f.symbol for f in findings_for("DET002")}
+        assert "SeededService.Sample" not in symbols  # deterministic helper
+        # suppressing the source (ignore[DET001, DET002]) kills the taint
+        assert "AcceptingService.Accepted" not in symbols
+
+    def test_wal002_layered_and_port_type_sends(self):
+        by_symbol = {f.symbol: f.message for f in findings_for("WAL002")}
+        assert set(by_symbol) == {
+            "LayeredAnnouncer.FinishLayered", "DemandSignalPortType.signal",
+        }
+        assert "relay -> fire_and_forget in relay" in by_symbol[
+            "LayeredAnnouncer.FinishLayered"
+        ]
+        assert "port-type method" in by_symbol["DemandSignalPortType.signal"]
+
+    def test_wal002_outbox_routed_chain_is_clean(self):
+        symbols = {f.symbol for f in findings_for("WAL002")}
+        assert "LayeredSafeAnnouncer.FinishSafelyLayered" not in symbols
+        # WAL001's lexical site is not double-reported by WAL002
+        assert "EagerAnnouncer.Finish" not in symbols
+
+    def test_lock001_unlocked_mutations(self):
+        symbols = {f.symbol for f in findings_for("LOCK001")}
+        assert symbols == {
+            "start_unsafe_sweeper.sweeper",  # direct load-modify-save
+            "start_unsafe_reaper.reaper",    # direct destroy
+            "_sweep_one",                    # reached through a helper
+        }
+
+    def test_lock001_witness_chain(self):
+        by_symbol = {f.symbol: f.message for f in findings_for("LOCK001")}
+        assert "layered -> _sweep_one" in by_symbol["_sweep_one"]
+
+    def test_lock001_locked_recovery_and_nonprocess_paths_clean(self):
+        symbols = {f.symbol for f in findings_for("LOCK001")}
         assert not any(s.startswith("start_safe_sweeper") for s in symbols)
+        assert "_locked_sweep" not in symbols  # call site below the acquire
+        assert "start_recovery.restore" not in symbols  # recovery allowlist
         assert "plain_helper_not_a_process" not in symbols
 
 
@@ -279,32 +375,233 @@ class TestEngine:
         assert len(report.parse_errors) == 1
         assert report.exit_code == 1
 
-    def test_cli_json_and_exit_codes(self):
-        proc = subprocess.run(
-            [sys.executable, "-m", "repro.analysis",
-             str(FIXTURES), "--no-baseline", "--format", "json"],
-            capture_output=True, text=True, cwd=REPO_ROOT,
-            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    def test_baseline_ratchet_flags_stale_entries(self, tmp_path):
+        """Entries matching nothing fail the run until pruned."""
+        report = analyze_fixtures()
+        baseline_path = tmp_path / "baseline.json"
+        ghost = Finding(
+            rule="WSRF001", path="gone.py", line=1,
+            message="a finding the code no longer produces", symbol="gone",
         )
+        write_baseline(baseline_path, [*report.findings, ghost])
+        rerun = analyze_paths(
+            [str(FIXTURES)],
+            baseline=load_baseline(baseline_path),
+            root=REPO_ROOT,
+        )
+        assert rerun.findings == []
+        assert rerun.stale_baseline == [ghost.fingerprint]
+        assert rerun.exit_code == 1
+        assert "stale baseline entry" in rerun.render_text()
+
+    def test_stale_detection_needs_full_catalog(self, tmp_path):
+        """A --rules-restricted run has no opinion about other entries."""
+        baseline_path = tmp_path / "baseline.json"
+        ghost = Finding(rule="DET001", path="gone.py", line=1, message="x")
+        write_baseline(baseline_path, [ghost])
+        restricted = analyze_paths(
+            [str(FIXTURES)], rules=["WSRF001"],
+            baseline=load_baseline(baseline_path), root=REPO_ROOT,
+        )
+        assert restricted.stale_baseline == []
+
+    def test_prune_baseline_only_shrinks(self, tmp_path):
+        report = analyze_fixtures()
+        baseline_path = tmp_path / "baseline.json"
+        ghost = Finding(rule="WSRF001", path="gone.py", line=1, message="x")
+        write_baseline(baseline_path, [*report.findings, ghost])
+        rerun = analyze_paths(
+            [str(FIXTURES)],
+            baseline=load_baseline(baseline_path), root=REPO_ROOT,
+        )
+        pruned = prune_baseline(baseline_path, rerun.matched_baseline)
+        assert pruned == 1
+        kept = load_baseline(baseline_path)
+        assert ghost.fingerprint not in kept
+        assert kept == {f.fingerprint for f in report.findings}
+        # pruning never adds: a finding missing from the baseline stays out
+        assert prune_baseline(baseline_path, rerun.matched_baseline) == 0
+
+    def test_show_suppressed_audit_view(self):
+        report = analyze_fixtures()
+        audited = {f.symbol for f in report.suppressed_findings}
+        assert "suppressed_wall_clock" in audited
+        assert "accepted_registry_entry" in audited
+        payload = report.to_json(show_suppressed=True)
+        assert len(payload["suppressed_findings"]) == report.suppressed
+        assert "(suppressed)" in report.render_text(show_suppressed=True)
+        assert "suppressed_findings" not in report.to_json()
+
+    def test_multi_rule_suppression_comment(self, tmp_path):
+        src = tmp_path / "multi.py"
+        src.write_text(
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()  # wsrfcheck: ignore[DET001, WSRF001]\n"
+        )
+        report = analyze_paths([str(src)], root=tmp_path)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_sarif_output(self):
+        report = analyze_fixtures()
+        doc = json.loads(report.render_sarif())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "wsrfcheck"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"WSRF004", "WSRF005", "DET002", "WAL002", "LOCK001"} <= rule_ids
+        assert len(run["results"]) == len(report.findings)
+        first = run["results"][0]
+        assert first["partialFingerprints"]["wsrfcheck/v1"] == (
+            report.findings[0].fingerprint
+        )
+        assert first["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] == report.findings[0].line
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCliExitMatrix:
+    """Exit 0 = clean/baselined, 1 = findings/stale, 2 = usage errors."""
+
+    def test_findings_exit_1_with_json(self):
+        proc = run_cli(str(FIXTURES), "--no-baseline", "--format", "json")
         assert proc.returncode == 1
         payload = json.loads(proc.stdout)
-        assert payload["files_analyzed"] == 9
-        clean = subprocess.run(
-            [sys.executable, "-m", "repro.analysis", "src/repro"],
-            capture_output=True, text=True, cwd=REPO_ROOT,
-            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        assert payload["files_analyzed"] == 12
+
+    def test_clean_tree_exits_0(self):
+        proc = run_cli("src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_unknown_rule_exits_2(self):
+        proc = run_cli("src/repro", "--rules", "WSRF001,NOPE001")
+        assert proc.returncode == 2
+        assert "unknown rule code(s): NOPE001" in proc.stderr
+
+    def test_missing_path_exits_2(self):
+        proc = run_cli("no/such/dir")
+        assert proc.returncode == 2
+        assert "no such file or directory" in proc.stderr
+
+    def test_unreadable_baseline_exits_2(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        proc = run_cli("src/repro", "--baseline", str(bad))
+        assert proc.returncode == 2
+        assert "unreadable baseline" in proc.stderr
+
+    def test_stale_baseline_exits_1_then_update_prunes(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        ghost = Finding(rule="DET001", path="gone.py", line=1, message="x")
+        write_baseline(baseline_path, [*analyze_fixtures().findings, ghost])
+        stale = run_cli(str(FIXTURES), "--baseline", str(baseline_path))
+        assert stale.returncode == 1
+        assert "stale baseline entry" in stale.stdout
+        update = run_cli(
+            str(FIXTURES), "--baseline", str(baseline_path),
+            "--update-baseline",
         )
-        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert update.returncode == 0
+        assert "pruned 1 stale entry" in update.stdout
+        assert ghost.fingerprint not in load_baseline(baseline_path)
+        rerun = run_cli(str(FIXTURES), "--baseline", str(baseline_path))
+        assert rerun.returncode == 0, rerun.stdout
+
+    def test_sarif_format_via_cli(self):
+        proc = run_cli(str(FIXTURES), "--no-baseline", "--format", "sarif")
+        assert proc.returncode == 1
+        doc = json.loads(proc.stdout)
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "wsrfcheck"
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        assert "LOCK001  [program]" in proc.stdout
+        assert "WSRF001  [module]" in proc.stdout
 
 
 # -- CI-gating meta-tests -----------------------------------------------------------
 
 
+class TestCallGraph:
+    """Targeted resolution cases the interprocedural rules lean on."""
+
+    def _graph(self, source, module="m", path="m.py"):
+        from repro.analysis.callgraph import build_callgraph
+
+        tree = ast.parse(source)
+        model = build_model([(module, path, tree)])
+        return build_callgraph([(module, path, tree)], model)
+
+    def test_self_call_resolves_inside_closure(self):
+        graph = self._graph(
+            """
+class W:
+    def tick(self):
+        pass
+
+    def start(self, env):
+        def loop(env):
+            while True:
+                yield env.timeout(1.0)
+                self.tick()
+        return env.process(loop(env))
+"""
+        )
+        edges = {(e.caller, e.callee) for e in graph.callees("m.W.start.loop")}
+        assert ("m.W.start.loop", "m.W.tick") in edges
+
+    def test_factory_return_type_infers_local(self):
+        graph = self._graph(
+            """
+class Manager:
+    def work(self):
+        pass
+
+def make_manager(wrapper):
+    manager = Manager()
+    return manager
+
+def use(wrapper):
+    manager = make_manager(wrapper)
+    manager.work()
+"""
+        )
+        edges = {(e.caller, e.callee) for e in graph.callees("m.use")}
+        assert ("m.use", "m.Manager.work") in edges
+
+    def test_ambiguous_bare_name_stays_unresolved(self):
+        graph = self._graph(
+            """
+class A:
+    def op(self):
+        pass
+
+class B:
+    def op(self):
+        pass
+
+def use(x):
+    x.op()
+"""
+        )
+        assert graph.callees("m.use") == []
+
+
 class TestShippedTreeIsClean:
     def test_rule_catalog_is_complete(self):
         assert set(rule_catalog()) == {
-            "WSRF001", "WSRF002", "WSRF003", "DET001", "SIM001", "SIM002",
-            "WAL001",
+            "WSRF001", "WSRF002", "WSRF003", "WSRF004", "WSRF005",
+            "DET001", "DET002", "SIM001", "WAL001", "WAL002", "LOCK001",
         }
 
     def test_shipped_baseline_has_no_critical_entries(self):
@@ -320,6 +617,18 @@ class TestShippedTreeIsClean:
     def test_src_repro_analyzes_clean_without_baseline(self):
         report = analyze_paths([str(REPO_ROOT / "src" / "repro")], root=REPO_ROOT)
         assert report.parse_errors == []
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
+
+    def test_critical_interproc_rules_ship_at_zero(self):
+        """WSRF004/WAL002/LOCK001 join the never-baselined set: the src
+        tree must hold zero findings for them with no baseline at all."""
+        report = analyze_paths(
+            [str(REPO_ROOT / "src" / "repro")],
+            rules=["WSRF004", "WAL002", "LOCK001"],
+            root=REPO_ROOT,
+        )
         assert report.findings == [], "\n".join(
             f.render() for f in report.findings
         )
