@@ -59,22 +59,35 @@ class NodeInfoService(ServiceGroupService):
 
     @WebMethod(requires_resource=False, one_way=True)
     def ReportUtilization(self, machine_name: str, utilization: float) -> int:
-        """One-way from a machine's Processor Utilization service."""
+        """One-way from a machine's Processor Utilization service.
+
+        A service-level operation, so the dispatch pipeline holds no
+        resource lock for us — but this is a load-modify-save on the
+        machine's entry row, and one-way sends carry no reply ordering:
+        a redelivered or delayed report can still be in flight when the
+        next one lands.  Serialize on the entry's own resource lock,
+        exactly as a ``requires_resource`` dispatch would be.
+        """
         wrapper = self.wsrf.wrapper
         entry_id = self._entry_for(machine_name)
         if entry_id is None:
             return 0
-        state = wrapper.store.load(wrapper.service_name, entry_id)
-        content_key = QName(SG, "content")
-        content = state.get(content_key)
-        if content is None:
-            return 0
-        info = parse_processor_content(content)
-        state[content_key] = processor_content(
-            info["name"], info["cpu_speed"], info["ram_mb"],
-            utilization, self.env.now,
-        )
-        wrapper.store.save(wrapper.service_name, entry_id, state)
+        lock = wrapper.resource_lock(entry_id)
+        yield lock.acquire()
+        try:
+            state = wrapper.store.load(wrapper.service_name, entry_id)
+            content_key = QName(SG, "content")
+            content = state.get(content_key)
+            if content is None:
+                return 0
+            info = parse_processor_content(content)
+            state[content_key] = processor_content(
+                info["name"], info["cpu_speed"], info["ram_mb"],
+                utilization, self.env.now,
+            )
+            wrapper.store.save(wrapper.service_name, entry_id, state)
+        finally:
+            lock.release()
         return 1
 
     @WebMethod(requires_resource=False)
