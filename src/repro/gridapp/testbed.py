@@ -58,6 +58,7 @@ class Testbed:
         observability: bool = False,
         perf=None,
         profile: bool = False,
+        sanitize: bool = False,
     ) -> None:
         """Assemble the grid; optional knobs enable fault tolerance.
 
@@ -85,6 +86,14 @@ class Testbed:
         the *host* CPU cost of the run by subsystem stage; it reads only
         the wall clock and never the simulation, so simulated results
         stay byte-identical (benchmarks/bench_wallclock.py asserts it).
+
+        ``sanitize=True`` attaches a
+        :class:`repro.analysis.RaceSanitizer` (``self.san``): a runtime
+        happens-before + lockset checker flagging data races on
+        WS-Resource rows, lock-order inversions and dispatch reentrancy
+        (docs/static_analysis.md).  Observation only — simulated results
+        stay byte-identical (tests/test_sanitizer.py asserts it); call
+        ``tb.san.assert_clean()`` after a run.
         """
         if n_machines < 1:
             raise ValueError("a grid needs at least one machine")
@@ -110,6 +119,13 @@ class Testbed:
             self.prof = WallClockProfiler()
             self.env.prof = self.prof
             self.network.prof = self.prof
+        # Opt-in runtime sanitizer: attached before any service deploys
+        # so every wrapper instruments its store at construction.
+        self.san = None
+        if sanitize:
+            from repro.analysis.sanitizer import RaceSanitizer
+
+            self.san = RaceSanitizer(self.env)
         self.rng = np.random.default_rng(seed)
         self.ca = CertificateAuthority()
         self.programs = ProgramRegistry()

@@ -26,7 +26,7 @@ class Event:
     uses callbacks to resume processes).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_san_vc")
 
     _PENDING = object()
 
@@ -144,6 +144,9 @@ class Environment:
         #: attached repro.obs.WallClockProfiler, or None = profiling off
         #: (step() then does a single None check, nothing else)
         self.prof: Optional[Any] = None
+        #: attached repro.analysis.RaceSanitizer, or None = sanitizing off
+        #: (the same single-None-check discipline as prof)
+        self.san: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -181,6 +184,12 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        san = self.san
+        if san is not None:
+            # Stamp the event with the scheduler's vector clock: the one
+            # edge from which the sanitizer derives every happens-before
+            # relation (spawn, join, timeout, interrupt, lock hand-off).
+            san.on_schedule(event)
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
@@ -194,6 +203,9 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        san = self.san
+        if san is not None:
+            san.on_step(event)
         prof = self.prof
         if prof is None:
             event._run_callbacks()
@@ -217,6 +229,11 @@ class Environment:
         that simulated time) or an :class:`Event` (run until it triggers,
         returning its value).
         """
+        san = self.san
+        if san is not None:
+            # Top-level code only executes while the loop is idle, so
+            # everything it did so far precedes everything in this run.
+            san.on_run_begin()
         stop_event: Optional[Event] = None
         deadline = float("inf")
         if until is None:

@@ -53,6 +53,9 @@ class Process(Event):
         env = self.env
         prev, env._active_process = env._active_process, self
         self._target = None
+        san = env.san
+        if san is not None:
+            san.on_resume(self, trigger)
         try:
             while True:
                 try:
@@ -85,6 +88,8 @@ class Process(Event):
 
                 if target.triggered and target.callbacks is None:
                     # Already fully processed: resume synchronously.
+                    if san is not None:
+                        san.on_join(self, target)
                     trigger = target
                     continue
                 self._target = target

@@ -36,11 +36,18 @@ class Lock:
             ev.succeed()
         else:
             self._waiters.append(ev)
+        san = self.env.san
+        if san is not None:
+            # Ownership lands on whichever process resumes on ev.
+            san.on_acquire(self, ev)
         return ev
 
     def release(self) -> None:
         if not self._locked:
             raise RuntimeError("release() of an unlocked Lock")
+        san = self.env.san
+        if san is not None:
+            san.on_release(self)
         if self._waiters:
             self._waiters.popleft().succeed()
         else:

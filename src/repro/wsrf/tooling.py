@@ -194,6 +194,11 @@ class WrapperService:
         obs = getattr(machine.network, "obs", None)
         if obs is not None:
             obs.register_wrapper(self)
+        san = getattr(self.env, "san", None)
+        if san is not None:
+            # Runtime lockset/happens-before sanitizer: wrap the store so
+            # every row access is checked (docs/static_analysis.md).
+            san.instrument_wrapper(self)
 
     # -- identity -------------------------------------------------------------------
 
@@ -271,6 +276,12 @@ class WrapperService:
         if lock is None:
             lock = Lock(self.env)
             self._resource_locks[resource_id] = lock
+            san = self.env.san
+            if san is not None:
+                san.label_lock(
+                    lock,
+                    f"{self.machine.name}:{self.service_name}/{resource_id}",
+                )
         return lock
 
     def start_sweeper(self, period: float = 1.0):
@@ -349,6 +360,10 @@ class WrapperService:
                 attrs={"service": self.path, "host": self.machine.name},
             )
         self.store.restore(snap["store"])
+        san = self.env.san
+        if san is not None:
+            # The rollback invalidated the crashed boot's access history.
+            san.on_recovery_begin(self)
         self._termination = dict(snap["termination"])
         self._rid_next = snap["rid_next"]
         self._resource_locks = {}
@@ -361,6 +376,10 @@ class WrapperService:
         # Recovery's own destroys/loads are part of the reboot, not of
         # whichever dispatch happens to run next: don't charge them.
         self._pending_db_ops = 0
+        if san is not None:
+            # Dispatches arriving after the host is back up are causally
+            # after everything recovery wrote.
+            san.on_recovery_end(self)
         if span is not None:
             obs.finish(span)
 
@@ -544,6 +563,11 @@ class WrapperService:
                 f"service {self.path!r} has no operation for body element {tag}",
             )
 
+        san = self.env.san
+        if san is not None:
+            # Joins the service's recovery clock and reports reentrant
+            # dispatch of a resource this call stack already holds.
+            san.on_dispatch_enter(self.machine.name, self.service_name, rid)
         instance = self.service_cls()
         state_before: Optional[Dict[QName, Any]] = None
         lock = None
@@ -699,6 +723,8 @@ class WrapperService:
                 pool.release()
             if lock is not None:
                 lock.release()
+            if san is not None:
+                san.on_dispatch_exit(self.machine.name, self.service_name, rid)
 
     def _deserialize_args(self, fn, body: Element) -> Dict[str, Any]:
         signature = inspect.signature(fn)

@@ -1,0 +1,387 @@
+"""Tier-2 wsrfcheck: the runtime happens-before + lockset sanitizer.
+
+Proof layers:
+
+- **Clean suites**: the Fig. 3 listener run, a 20%-drop chaos run and a
+  host-bounce restart run all execute sanitized with zero reports — and
+  byte-identical traces/obs exports to the unsanitized control, so the
+  hooks observe without perturbing (the ``env.prof`` contract).
+- **Both tiers catch the same bug**: the deliberately-racy LOCK001
+  fixture (``tests/analysis_fixtures/races.py``) is flagged statically
+  by LOCK001 *and*, when driven live against a deployed wrapper, by the
+  dynamic lockset; its lock-taking twin is clean both ways.
+- **The other two checkers**: a lock-order inversion that never
+  deadlocks in this schedule is still reported from its acquisition
+  edges; a genuinely reentrant dispatch is named while the run hangs.
+- **Happens-before mechanics**: spawn edges order a parent's writes
+  before its child's; unrelated processes racing on a bare store row
+  are reported.
+"""
+
+import sys
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.sanitizer import RaceSanitizer
+from repro.db import BlobResourceStore
+from repro.gridapp import FaultToleranceConfig, FileRef, JobSpec, Testbed
+from repro.net import Network, RetryPolicy
+from repro.osim import Machine, MachineParams
+from repro.osim.programs import make_compute_program
+from repro.sim import Environment
+from repro.sim.sync import Lock
+from repro.soap import SoapEnvelope
+from repro.wsa import AddressingHeaders
+from repro.wsrf import Resource, ServiceSkeleton, WebMethod, WsrfClient, deploy
+from repro.xmlx import NS, Element, QName
+
+from tests.test_analysis import FIXTURES, REPO_ROOT
+
+sys.path.insert(0, str(FIXTURES.parent))
+from analysis_fixtures.races import (  # noqa: E402
+    start_safe_sweeper,
+    start_unsafe_sweeper,
+)
+
+UVA = NS.UVACG
+PAYLOAD = b"sanitizer payload"
+
+POLICY = RetryPolicy(
+    max_attempts=8, base_delay_s=0.5, backoff_factor=2.0,
+    max_delay_s=3.0, timeout_s=30.0,
+)
+FT = FaultToleranceConfig(watchdog_period=5.0, stuck_after=20.0)
+
+
+def _trace(tb):
+    return [(e.at, e.step, e.actor, e.detail) for e in tb.trace.events]
+
+
+def _fig3(sanitize, **kwargs):
+    tb = Testbed(n_machines=4, seed=11, sanitize=sanitize, **kwargs)
+    tb.programs.register(
+        make_compute_program("work", 2.0, outputs={"out.dat": PAYLOAD})
+    )
+    client = tb.make_client()
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("work"))
+    for i in range(4):
+        spec.add(JobSpec(name=f"j{i}", executable=FileRef(exe, "job.exe")))
+    outcome, _, _ = tb.run_job_set(client, spec)
+    tb.settle()
+    return tb, outcome
+
+
+def _polled(sanitize, *, drop=0.0, bounce=None):
+    tb = Testbed(
+        n_machines=4, seed=11, machine_speeds=[1.0] * 4,
+        retry_policy=POLICY, fault_tolerance=FT, broker_redelivery=POLICY,
+        sanitize=sanitize,
+    )
+    if drop:
+        tb.network.inject_faults(drop_probability=drop, seed=3)
+    if bounce is not None:
+        host, at = bounce
+        tb.restart_host(host, at=at, down_for=3.0)
+    tb.programs.register(
+        make_compute_program("work", 2.0, outputs={"out.dat": PAYLOAD})
+    )
+    client = tb.make_client()
+    spec = client.new_job_set()
+    exe = client.add_program_binary(tb.programs.get("work"))
+    for i in range(6):
+        spec.add(JobSpec(name=f"job{i:02d}", executable=FileRef(exe, "job.exe")))
+    outcome, _, _ = tb.run(
+        client.run_job_set_polled(spec, period=3.0, give_up_after=2000.0)
+    )
+    tb.settle()
+    return tb, outcome
+
+
+class TestCleanSuites:
+    """The shipped grid races nowhere the sanitizer can see."""
+
+    def test_fig3_clean_with_identical_trace_and_obs(self):
+        tb_off, out_off = _fig3(False, observability=True)
+        tb_on, out_on = _fig3(True, observability=True)
+        assert out_off == out_on == "completed"
+        assert tb_off.san is None
+        assert tb_on.san.accesses_checked > 0
+        tb_on.san.assert_clean()
+        # Observation only: the sanitized run is indistinguishable.
+        assert _trace(tb_off) == _trace(tb_on)
+        assert tb_off.obs.export_json() == tb_on.obs.export_json()
+
+    def test_chaos_run_clean(self):
+        tb_off, out_off = _polled(False, drop=0.2)
+        tb_on, out_on = _polled(True, drop=0.2)
+        assert out_off == out_on == "completed"
+        assert tb_on.network.stats.drops > 0
+        tb_on.san.assert_clean()
+        assert _trace(tb_off) == _trace(tb_on)
+
+    def test_restart_run_clean(self):
+        """Bouncing the central host exercises the recovery barrier:
+        wsrf_recover's writes and post-restart dispatches must not be
+        reported against the dead boot's accesses."""
+        tb_off, out_off = _polled(False, bounce=("uvacg-central", 6.0))
+        tb_on, out_on = _polled(True, bounce=("uvacg-central", 6.0))
+        assert out_off == out_on == "completed"
+        assert tb_on.scheduler.restarts == 1
+        tb_on.san.assert_clean()
+        assert _trace(tb_off) == _trace(tb_on)
+
+
+# -- the racy fixture, caught by both tiers ----------------------------------------
+
+
+class CounterService(ServiceSkeleton):
+    count = Resource(default=0)
+
+    @WebMethod(requires_resource=False)
+    def Create(self):
+        return self.epr_for(self.create_resource())
+
+    @WebMethod
+    def Bump(self) -> int:
+        self.count = self.count + 1
+        return self.count
+
+
+def _counter_fabric():
+    env = Environment()
+    san = RaceSanitizer(env)
+    net = Network(env)
+    machine = Machine(net, "server", params=MachineParams(db_access_s=0.01))
+    wrapper = deploy(CounterService, machine, "Counter")
+    net.add_host("client")
+    client = WsrfClient(net, "client")
+    return env, san, wrapper, client
+
+
+def _drive_sweeper(start_sweeper):
+    """One resource, locked Bump dispatches every 0.7 s, plus the
+    fixture's background sweeper rewriting every row each second."""
+    env, san, wrapper, client = _counter_fabric()
+    proc = env.process(client.call(wrapper.service_epr(), UVA, "Create"))
+    env.run(until=proc)
+    epr = proc.value
+    start_sweeper(env, wrapper)
+
+    def traffic(env):
+        for _ in range(5):
+            yield env.timeout(0.7)
+            yield from client.call(epr, UVA, "Bump")
+
+    tproc = env.process(traffic(env))
+    env.run(until=tproc)
+    env.run(until=env.now + 1.0)
+    return san
+
+
+class TestRacyFixtureBothTiers:
+    def test_static_tier_flags_unsafe_sweeper(self):
+        report = analyze_paths(
+            [str(FIXTURES / "races.py")], rules=["LOCK001"], root=REPO_ROOT
+        )
+        symbols = {f.symbol for f in report.findings}
+        assert any(s.startswith("start_unsafe_sweeper") for s in symbols)
+        assert not any(s.startswith("start_safe_sweeper") for s in symbols)
+
+    def test_dynamic_tier_flags_unsafe_sweeper_live(self):
+        san = _drive_sweeper(start_unsafe_sweeper)
+        races = [r for r in san.reports if r.kind == "data-race"]
+        assert races, "the unlocked sweeper must race the locked dispatch"
+        assert "sweeper" in races[0].detail
+        assert "Counter" in races[0].key
+        with pytest.raises(AssertionError, match="data-race"):
+            san.assert_clean()
+
+    def test_dynamic_tier_clean_on_safe_sweeper(self):
+        san = _drive_sweeper(start_safe_sweeper)
+        assert san.accesses_checked > 0
+        san.assert_clean()
+        assert san.summary() == {}
+
+
+# -- lock-order inversion -----------------------------------------------------------
+
+
+class TestLockOrderInversion:
+    def _nested(self, env, first, second, delay):
+        def holder(env):
+            yield env.timeout(delay)
+            yield first.acquire()
+            yield second.acquire()
+            yield env.timeout(0.1)
+            second.release()
+            first.release()
+
+        return env.process(holder(env))
+
+    def test_opposite_orders_reported_without_deadlocking(self):
+        """A→B at t=0 and B→A at t=1 never contend in this schedule;
+        the edge cycle is still a latent deadlock and is reported."""
+        env = Environment()
+        san = RaceSanitizer(env)
+        a, b = Lock(env), Lock(env)
+        san.label_lock(a, "A")
+        san.label_lock(b, "B")
+        self._nested(env, a, b, 0.0)
+        self._nested(env, b, a, 1.0)
+        env.run()
+        kinds = san.summary()
+        assert kinds == {"lock-order-inversion": 1}
+        assert "A" in san.reports[0].key and "B" in san.reports[0].key
+
+    def test_consistent_order_clean(self):
+        env = Environment()
+        san = RaceSanitizer(env)
+        a, b = Lock(env), Lock(env)
+        self._nested(env, a, b, 0.0)
+        self._nested(env, a, b, 1.0)
+        env.run()
+        san.assert_clean()
+
+
+# -- dispatch reentrancy ------------------------------------------------------------
+
+
+class NesterService(ServiceSkeleton):
+    count = Resource(default=0)
+
+    @WebMethod(requires_resource=False)
+    def Create(self):
+        return self.epr_for(self.create_resource())
+
+    @WebMethod
+    def Touch(self) -> str:
+        return "ok"
+
+    @WebMethod
+    def Recurse(self):
+        # Re-dispatch Touch against our own resource from inside its
+        # dispatch: the non-reentrant resource mutex deadlocks here.
+        wrapper = self.wsrf.wrapper
+        envelope = SoapEnvelope(
+            AddressingHeaders(to_epr=self.wsrf.my_epr(), action=f"{UVA}/Touch"),
+            Element(QName(UVA, "Touch")),
+        )
+        result = yield from wrapper._dispatch(
+            envelope, self.wsrf.resource_id, None
+        )
+        return result
+
+
+class TestDispatchReentrancy:
+    def test_reentrant_dispatch_named_while_run_hangs(self):
+        env = Environment()
+        san = RaceSanitizer(env)
+        net = Network(env)
+        machine = Machine(net, "server", params=MachineParams(db_access_s=0.01))
+        wrapper = deploy(NesterService, machine, "Nester")
+        net.add_host("client")
+        client = WsrfClient(net, "client")
+        proc = env.process(client.call(wrapper.service_epr(), UVA, "Create"))
+        env.run(until=proc)
+        env.process(client.call(proc.value, UVA, "Recurse"))
+        env.run(until=10.0)  # the inner acquire never returns
+        assert san.summary() == {"dispatch-reentrancy": 1}
+        report = san.reports[0]
+        assert "Nester" in report.key
+        assert "deadlocks" in report.detail
+
+
+# -- happens-before mechanics -------------------------------------------------------
+
+
+class TestHappensBefore:
+    def _bare(self):
+        env = Environment()
+        san = RaceSanitizer(env)
+        store = BlobResourceStore()
+        san.instrument_store(store, owner="m")
+        store.create("S", "row", {})
+        return env, san, store
+
+    def test_spawn_edge_orders_parent_before_child(self):
+        env, san, store = self._bare()
+
+        def child(env):
+            yield env.timeout(0.5)
+            store.save("S", "row", {"by": "child"})
+
+        def parent(env):
+            yield env.timeout(1.0)
+            store.save("S", "row", {"by": "parent"})
+            env.process(child(env))
+
+        env.process(parent(env))
+        env.run()
+        san.assert_clean()
+
+    def test_unrelated_writers_race(self):
+        env, san, store = self._bare()
+
+        def writer(env, who, delay):
+            yield env.timeout(delay)
+            store.save("S", "row", {"by": who})
+
+        env.process(writer(env, "one", 1.0))
+        env.process(writer(env, "two", 2.0))
+        env.run()
+        assert san.summary() == {"data-race": 1}
+        assert san.reports[0].key == "m:S/row"
+
+    def test_common_lock_serializes_writers(self):
+        env, san, store = self._bare()
+        lock = Lock(env)
+
+        def writer(env, who, delay):
+            yield env.timeout(delay)
+            yield lock.acquire()
+            try:
+                store.save("S", "row", {"by": who})
+            finally:
+                lock.release()
+
+        env.process(writer(env, "one", 1.0))
+        env.process(writer(env, "two", 2.0))
+        env.run()
+        san.assert_clean()
+
+    def test_setup_writes_precede_the_run(self):
+        """Top-level writes between runs are a barrier: every process
+        in the next run is ordered after them (no false positives from
+        testbed assembly)."""
+        env, san, store = self._bare()
+        store.save("S", "row", {"by": "setup"})
+
+        def writer(env):
+            yield env.timeout(1.0)
+            store.save("S", "row", {"by": "proc"})
+
+        env.process(writer(env))
+        env.run()
+        san.assert_clean()
+
+    def test_sanitize_off_is_absent(self):
+        env = Environment()
+        assert env.san is None
+        tb = Testbed(n_machines=1, seed=11)
+        assert tb.san is None and tb.env.san is None
+
+    def test_assert_clean_lists_every_report(self):
+        env, san, store = self._bare()
+
+        def writer(env, who, delay):
+            yield env.timeout(delay)
+            store.save("S", "row", {"by": who})
+
+        for i, delay in enumerate([1.0, 2.0, 3.0]):
+            env.process(writer(env, f"w{i}", delay))
+        env.run()
+        with pytest.raises(AssertionError) as err:
+            san.assert_clean()
+        assert str(len(san.reports)) in str(err.value)
