@@ -1,17 +1,25 @@
 """CI gate: compare BENCH_wallclock.json against the committed baseline.
 
-Fails (exit 1) when events/s regresses by more than the tolerance
-(default 30%) relative to ``benchmarks/BENCH_wallclock_baseline.json``.
-Only *regressions* fail — faster runs pass and print the improvement.
-Wall-clock rates are host-dependent, so the tolerance is deliberately
-wide: the gate exists to catch order-of-magnitude hot-path accidents
-(an always-on profiler, a quadratic store scan), not minor jitter.
+The gate is a ratchet, enforced in **both** directions:
+
+- a drop of more than ``--tolerance`` (default 30%) below the baseline
+  fails — the hot path regressed (an always-on profiler, a quadratic
+  store scan);
+- a gain of more than ``--max-gain`` (default 100%) above the baseline
+  *also* fails — the hot path got dramatically faster, and the ratchet
+  is no longer protecting anything.  The fix is deliberate: re-run the
+  benchmark and commit the fresh ``BENCH_wallclock.json`` as the new
+  ``BENCH_wallclock_baseline.json``, so the next accidental slowdown is
+  measured against the speed actually achieved.
+
+Wall-clock rates are host-dependent, so both bounds are deliberately
+wide — they exist to catch order-of-magnitude accidents, not jitter.
 
 Usage::
 
     python benchmarks/check_wallclock.py BENCH_wallclock.json \
         [--baseline benchmarks/BENCH_wallclock_baseline.json] \
-        [--tolerance 0.30]
+        [--tolerance 0.30] [--max-gain 1.00]
 """
 
 from __future__ import annotations
@@ -51,6 +59,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="max allowed fractional regression "
                              "(default: %(default)s)")
+    parser.add_argument("--max-gain", type=float, default=1.00,
+                        help="max allowed fractional improvement before the "
+                             "baseline must be refreshed (default: %(default)s)")
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -65,13 +76,19 @@ def main(argv: list[str] | None = None) -> int:
                             f"{'baseline' if base is None else 'current'}")
             continue
         change = (now - base) / base
-        status = "FAIL" if change < -args.tolerance else "ok"
+        status = "FAIL" if (change < -args.tolerance or change > args.max_gain) else "ok"
         print(f"{status:>4}  {meter:<18} baseline={base:>12.1f}  "
               f"current={now:>12.1f}  change={change:+.1%}")
         if change < -args.tolerance:
             failures.append(
                 f"{meter} regressed {-change:.1%} "
                 f"(limit {args.tolerance:.0%}): {base:.1f} -> {now:.1f}"
+            )
+        elif change > args.max_gain:
+            failures.append(
+                f"{meter} improved {change:.1%} (limit {args.max_gain:.0%}): "
+                f"{base:.1f} -> {now:.1f} — the ratchet is stale; refresh "
+                "benchmarks/BENCH_wallclock_baseline.json deliberately"
             )
 
     if failures:
@@ -80,7 +97,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {failure}", file=sys.stderr)
         return 1
     print("\nwall-clock benchmark gate passed "
-          f"(tolerance {args.tolerance:.0%})")
+          f"(tolerance {args.tolerance:.0%}, max gain {args.max_gain:.0%})")
     return 0
 
 

@@ -26,7 +26,7 @@ by the host crash-restart machinery (docs/durability.md).
 
 from repro.db.engine import Column, Database, DbError, Table
 from repro.db.sql import SqlError, SqlResourceStore, execute_sql
-from repro.db.resource_store import BlobResourceStore, NoSuchResource
+from repro.db.resource_store import BlobResourceStore, DecodeCache, NoSuchResource
 from repro.db.cached_store import CachedResourceStore
 from repro.db.xmlstore import XmlResourceStore
 
@@ -36,6 +36,7 @@ __all__ = [
     "Column",
     "Database",
     "DbError",
+    "DecodeCache",
     "NoSuchResource",
     "SqlError",
     "SqlResourceStore",

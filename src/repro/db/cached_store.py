@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.db.resource_store import (
     BlobResourceStore,
+    DecodeCache,
     State,
     decode_state,
     encode_state,
@@ -50,6 +51,10 @@ class CachedResourceStore:
         #: cache effectiveness counters for the obs registry
         self.hits = 0
         self.misses = 0
+        #: optional :class:`DecodeCache` shared with the inner store (the
+        #: codec fast path sets it); a blob-cache hit then also skips the
+        #: XML re-parse while keeping per-load value isolation
+        self.decode_cache: Optional[DecodeCache] = None
 
     @staticmethod
     def _key(service: str, resource_id: str) -> str:
@@ -73,8 +78,11 @@ class CachedResourceStore:
     # -- the store surface -----------------------------------------------------------
 
     def create(self, service: str, resource_id: str, state: State) -> None:
-        self.inner.create(service, resource_id, state)
-        self._blobs[self._key(service, resource_id)] = encode_state(state)
+        # The inner store hands back the bytes it just wrote, so the
+        # write-through entry costs no second encode.
+        self._blobs[self._key(service, resource_id)] = self.inner.create(
+            service, resource_id, state
+        )
 
     def exists(self, service: str, resource_id: str) -> bool:
         if self.is_cached(service, resource_id):
@@ -85,15 +93,20 @@ class CachedResourceStore:
         blob = self._blobs.get(self._key(service, resource_id))
         if blob is not None:
             self.hits += 1
+            if self.decode_cache is not None:
+                return self.decode_cache.decode(blob)
             return decode_state(blob)
         self.misses += 1
         state = self.inner.load(service, resource_id)
-        self._blobs[self._key(service, resource_id)] = encode_state(state)
+        cache = self.decode_cache
+        blob = encode_state(state) if cache is None else cache.encode(state)
+        self._blobs[self._key(service, resource_id)] = blob
         return state
 
     def save(self, service: str, resource_id: str, state: State) -> None:
-        self.inner.save(service, resource_id, state)
-        self._blobs[self._key(service, resource_id)] = encode_state(state)
+        self._blobs[self._key(service, resource_id)] = self.inner.save(
+            service, resource_id, state
+        )
 
     def destroy(self, service: str, resource_id: str) -> None:
         self.inner.destroy(service, resource_id)

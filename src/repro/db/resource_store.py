@@ -15,7 +15,7 @@ from repro.db.engine import Column, Database
 from repro.soap import from_typed_element, to_typed_element
 from repro.xmlx import NS, Element, QName, parse, to_string, xpath_select
 
-_STATE_TAG = QName(NS.UVACG, "ResourceState")
+_STATE_TAG = QName.of(NS.UVACG, "ResourceState")
 
 State = Dict[QName, Any]
 
@@ -32,11 +32,91 @@ def encode_state(state: State) -> bytes:
     return to_string(root).encode("utf-8")
 
 
-def decode_state(blob: bytes) -> State:
+def _parse_state_tree(blob: bytes) -> Element:
     root = parse(blob.decode("utf-8"))
     if root.tag != _STATE_TAG:
         raise ValueError(f"not a resource-state document: {root.tag}")
+    return root
+
+
+def decode_state(blob: bytes) -> State:
+    root = _parse_state_tree(blob)
     return {child.tag: from_typed_element(child) for child in root.children}
+
+
+def _copy_value(value: Any) -> Any:
+    """Isolation copy for a value produced by :func:`from_typed_element`.
+
+    The typed-value universe is closed (soap/types.py): the only mutable
+    shapes are dict, list and Element — everything else (str, int, float,
+    bool, bytes, None, EndpointReference) is immutable and safe to share.
+    """
+    cls = type(value)
+    if cls is dict:
+        return {key: _copy_value(item) for key, item in value.items()}
+    if cls is list:
+        return [_copy_value(item) for item in value]
+    if cls is Element:
+        return value.copy()
+    return value
+
+
+class DecodeCache:
+    """Content-addressed memo for :func:`decode_state` (docs/performance.md).
+
+    Keyed on the immutable encoded blob bytes: identical bytes always
+    decode to the same document, so the decoded state can be reused with
+    no invalidation protocol at all — destroy/recreate and checkpoint
+    restore change *which bytes a store serves*, never what bytes already
+    seen mean.  Value isolation follows the same discipline as
+    :class:`~repro.db.CachedResourceStore`: the cached state dict is
+    never handed out — every load (hit or miss) returns a deep copy built
+    by :func:`_copy_value`, so callers can mutate what they get without
+    corrupting the cache.
+
+    The table is bounded; past ``capacity`` distinct blobs the oldest
+    entry is dropped (FIFO — the dispatch working set is a few dozen
+    resources, so anything reasonable works).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_states")
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("DecodeCache capacity must be >= 1")
+        self.capacity = capacity
+        #: cache effectiveness counters for the obs registry
+        self.hits = 0
+        self.misses = 0
+        self._states: Dict[bytes, State] = {}
+
+    def decode(self, blob: bytes) -> State:
+        state = self._states.get(blob)
+        if state is None:
+            self.misses += 1
+            root = _parse_state_tree(blob)
+            state = {child.tag: from_typed_element(child) for child in root.children}
+            if len(self._states) >= self.capacity:
+                self._states.pop(next(iter(self._states)))
+            self._states[blob] = state
+        else:
+            self.hits += 1
+        return {key: _copy_value(item) for key, item in state.items()}
+
+    def encode(self, state: State) -> bytes:
+        """Encode *state* and warm the cache under the produced bytes.
+
+        The save path already has the decoded form in hand, so the next
+        load of these exact bytes can skip the XML parse entirely
+        (encode once, decode never).  A value-isolated copy goes into
+        the table — the caller keeps mutating its own dict after save.
+        """
+        blob = encode_state(state)
+        if blob not in self._states:
+            if len(self._states) >= self.capacity:
+                self._states.pop(next(iter(self._states)))
+            self._states[blob] = {key: _copy_value(item) for key, item in state.items()}
+        return blob
 
 
 class BlobResourceStore:
@@ -61,21 +141,30 @@ class BlobResourceStore:
         self.loads = 0
         self.saves = 0
         self.scans = 0
+        #: optional :class:`DecodeCache` (the perf layer's codec fast
+        #: path attaches one; None keeps the from-scratch decode path)
+        self.decode_cache: Optional[DecodeCache] = None
 
     @staticmethod
     def _key(service: str, resource_id: str) -> str:
         return f"{service}|{resource_id}"
 
-    def create(self, service: str, resource_id: str, state: State) -> None:
+    def _encode(self, state: State) -> bytes:
+        cache = self.decode_cache
+        return encode_state(state) if cache is None else cache.encode(state)
+
+    def create(self, service: str, resource_id: str, state: State) -> bytes:
+        blob = self._encode(state)
         self.db.table(self.TABLE).insert(
             {
                 "rid": self._key(service, resource_id),
                 "service": service,
                 "resource_id": resource_id,
-                "state": encode_state(state),
+                "state": blob,
             }
         )
         self.saves += 1
+        return blob
 
     def exists(self, service: str, resource_id: str) -> bool:
         return self.db.table(self.TABLE).get(self._key(service, resource_id)) is not None
@@ -85,16 +174,21 @@ class BlobResourceStore:
         if row is None:
             raise NoSuchResource(f"{service}/{resource_id}")
         self.loads += 1
+        cache = self.decode_cache
+        if cache is not None:
+            return cache.decode(row["state"])
         return decode_state(row["state"])
 
-    def save(self, service: str, resource_id: str, state: State) -> None:
+    def save(self, service: str, resource_id: str, state: State) -> bytes:
+        blob = self._encode(state)
         count = self.db.table(self.TABLE).update(
-            {"state": encode_state(state)},
+            {"state": blob},
             equals={"rid": self._key(service, resource_id)},
         )
         if count == 0:
             raise NoSuchResource(f"{service}/{resource_id}")
         self.saves += 1
+        return blob
 
     def destroy(self, service: str, resource_id: str) -> None:
         count = self.db.table(self.TABLE).delete(

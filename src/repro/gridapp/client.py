@@ -71,11 +71,12 @@ class ClientFileServer:
 
     def handle(self, payload: str, ctx):
         prof = getattr(self.network, "prof", None)
+        codec = getattr(self.network, "codec", None)
         if prof is None:
-            envelope = SoapEnvelope.deserialize(payload)
+            envelope = SoapEnvelope.deserialize(payload, codec)
         else:
             with prof.region("soap.parse"):
-                envelope = SoapEnvelope.deserialize(payload)
+                envelope = SoapEnvelope.deserialize(payload, codec)
         body = envelope.body
         if body.tag != QName(UVA, "Read"):
             fault = SoapFault("soap:Client", "file server only supports Read")
@@ -110,10 +111,11 @@ class ClientFileServer:
         )
         response = SoapEnvelope(headers, body)
         prof = getattr(self.network, "prof", None)
+        codec = getattr(self.network, "codec", None)
         if prof is None:
-            return response.serialize()
+            return response.serialize(codec)
         with prof.region("soap.encode"):
-            return response.serialize()
+            return response.serialize(codec)
 
     def close(self) -> None:
         self.network.host(self.host_name).unbind(FILE_SERVER_PORT)

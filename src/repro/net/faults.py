@@ -38,7 +38,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkFaultPlan:
     """The fault profile of one directed link (or the default for all)."""
 

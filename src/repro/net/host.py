@@ -21,6 +21,8 @@ class Host:
     queue FIFO, which is what makes bulk transfers contend realistically.
     """
 
+    __slots__ = ("network", "name", "_servers", "_tx_busy_until", "down", "boot_epoch")
+
     def __init__(self, network: "Network", name: str) -> None:
         self.network = network
         self.name = name

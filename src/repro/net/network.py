@@ -16,7 +16,7 @@ class DeliveryError(RuntimeError):
     """Connection refused / host down / partitioned / message dropped."""
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic and fault counters for the benchmark harness."""
 
@@ -63,7 +63,7 @@ class NetworkStats:
                 setattr(self, f.name, 0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryContext:
     """Metadata handed to a server with each inbound message."""
 
@@ -107,6 +107,10 @@ class Network:
         #: attached repro.obs.WallClockProfiler, or None = profiling off
         #: (same None-check contract as obs; see docs/observability.md)
         self.prof: Optional[Any] = None
+        #: attached repro.soap.EnvelopeCache, or None = codec caching off
+        #: (endpoints pass this to SoapEnvelope.serialize/deserialize;
+        #: same None-check contract as obs/prof — docs/performance.md)
+        self.codec: Optional[Any] = None
 
     def inject_faults(
         self,

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkParams:
     #: one-way propagation + switching delay between two campus hosts (s)
     latency_s: float = 0.0003

@@ -29,7 +29,7 @@ class CallTimeout(DeliveryError):
     """A request/response call exceeded its per-call timeout."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryPolicy:
     """How a client retries transport faults on request/response calls."""
 

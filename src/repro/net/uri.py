@@ -20,7 +20,7 @@ class UriError(ValueError):
 _DEFAULT_PORTS = {"http": 80, "soap.tcp": 8081}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Uri:
     scheme: str
     host: str

@@ -80,6 +80,9 @@ class SpanRecorder:
         self.registry = registry
         self.spans: List[Span] = []
         self._by_id: Dict[int, Span] = {}
+        #: insertion-ordered index of OPEN spans (subset of ``spans``),
+        #: so subtree closes scan live spans instead of the whole run
+        self._open: Dict[int, Span] = {}
         #: innermost-last stacks of OPEN spans, keyed by message id
         self._open_by_message: Dict[str, List[Span]] = {}
         self._next_id = 1
@@ -119,6 +122,7 @@ class SpanRecorder:
         self._next_id += 1
         self.spans.append(span)
         self._by_id[span.span_id] = span
+        self._open[span.span_id] = span
         if message_id is not None:
             self._open_by_message.setdefault(message_id, []).append(span)
         if self.event_log is not None:
@@ -132,6 +136,7 @@ class SpanRecorder:
         if span.end is not None:
             return
         span.end = self.env.now
+        self._open.pop(span.span_id, None)
         if span.message_id is not None:
             stack = self._open_by_message.get(span.message_id)
             if stack and span in stack:
@@ -161,7 +166,7 @@ class SpanRecorder:
         when the handler finishes.  The root itself always closes, even
         if detached (that IS the owner's close).
         """
-        for span in self.spans:
+        for span in list(self._open.values()):
             if span.end is None and self._owned_descendant(span, root):
                 self.finish(span)
         self.finish(root)
@@ -186,7 +191,7 @@ class SpanRecorder:
         return self._by_id.get(span_id)
 
     def open_spans(self) -> List[Span]:
-        return [span for span in self.spans if not span.finished]
+        return list(self._open.values())
 
     def children(self, span: Span) -> List[Span]:
         return [s for s in self.spans if s.parent_id == span.span_id]

@@ -15,8 +15,8 @@ Two message-exchange patterns, matching §4.1 of the paper:
   from a void-returning method, which still sends an empty reply.
 """
 
-from repro.soap.envelope import SoapEnvelope
+from repro.soap.envelope import EnvelopeCache, SoapEnvelope
 from repro.soap.fault import SoapFault
 from repro.soap.types import from_typed_element, to_typed_element
 
-__all__ = ["SoapEnvelope", "SoapFault", "from_typed_element", "to_typed_element"]
+__all__ = ["EnvelopeCache", "SoapEnvelope", "SoapFault", "from_typed_element", "to_typed_element"]

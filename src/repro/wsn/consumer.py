@@ -65,11 +65,12 @@ class NotificationListener:
 
     def handle(self, payload: str, ctx):
         prof = getattr(self.network, "prof", None)
+        codec = getattr(self.network, "codec", None)
         if prof is None:
-            envelope = SoapEnvelope.deserialize(payload)
+            envelope = SoapEnvelope.deserialize(payload, codec)
         else:
             with prof.region("soap.parse"):
-                envelope = SoapEnvelope.deserialize(payload)
+                envelope = SoapEnvelope.deserialize(payload, codec)
         if envelope.body.tag != NOTIFY:
             raise ValueError(
                 f"notification listener received non-Notify {envelope.body.tag}"

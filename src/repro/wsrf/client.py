@@ -97,11 +97,12 @@ class WsrfClient:
         headers = AddressingHeaders(to_epr=epr, action=action, reply_to=reply_to)
         envelope = SoapEnvelope(headers, body, extra_headers=extra_headers)
         prof = getattr(self.network, "prof", None)
+        codec = getattr(self.network, "codec", None)
         if prof is None:
-            raw = envelope.serialize()
+            raw = envelope.serialize(codec)
         else:
             with prof.region("soap.encode"):
-                raw = envelope.serialize()
+                raw = envelope.serialize(codec)
         mid = headers.message_id
         obs = getattr(self.network, "obs", None)
         span = None
@@ -141,10 +142,10 @@ class WsrfClient:
                     on_retry=self._count_retry,
                 )
             if prof is None:
-                response = SoapEnvelope.deserialize(response_raw)
+                response = SoapEnvelope.deserialize(response_raw, codec)
             else:
                 with prof.region("soap.parse"):
-                    response = SoapEnvelope.deserialize(response_raw)
+                    response = SoapEnvelope.deserialize(response_raw, codec)
             payload = response.body
             if SoapFault.is_fault(payload):
                 fault = SoapFault.from_element(payload)

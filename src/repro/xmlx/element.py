@@ -10,7 +10,9 @@ NameLike = Union[QName, str]
 
 
 def _qname(name: NameLike) -> QName:
-    return name if isinstance(name, QName) else QName(name)
+    # of_clark interns: tag/attr lookups by string hit a bounded cache
+    # instead of re-parsing Clark notation on every call.
+    return name if isinstance(name, QName) else QName.of_clark(name)
 
 
 class Element:
@@ -115,7 +117,10 @@ class Element:
 
     def copy(self) -> "Element":
         """Deep copy."""
-        clone = Element(self.tag)
+        # __new__ skips __init__'s NameLike normalization — self.tag is
+        # already a QName, and copy() sits on the codec-cache hot path.
+        clone = Element.__new__(Element)
+        clone.tag = self.tag
         clone.attrib = dict(self.attrib)
         clone.text = self.text
         clone.tail = self.tail

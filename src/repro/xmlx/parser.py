@@ -4,10 +4,17 @@ Supports the subset of XML that SOAP messages use: a single root element,
 namespace declarations (default and prefixed), attributes, character data
 with the five predefined entities plus numeric character references,
 comments, processing instructions and CDATA sections.  DTDs are rejected.
+
+The scanner is written for the wall-clock hot path (docs/performance.md,
+"Codec fast path"): it indexes into the input instead of allocating
+``peek`` substrings, and resolved names go through the bounded
+:meth:`QName.of` intern table so a document that repeats the same ~40
+qualified names thousands of times allocates each exactly once.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.xmlx.element import Element
@@ -15,9 +22,14 @@ from repro.xmlx.qname import QName
 
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
 
-_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
-_NAME_CHARS = _NAME_START | set("0123456789.-")
+# Note ``:`` is deliberately NOT a name-start character: a name may carry at
+# most one colon (prefix separator), never leading or trailing (read_name).
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-:")
+#: one C-level scan per name instead of a per-character Python loop
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9._:\-]*")
 _WHITESPACE = set(" \t\r\n")
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
 
 
 class XmlParseError(ValueError):
@@ -46,8 +58,10 @@ class _Scanner:
         return self.pos >= self.length
 
     def skip_whitespace(self) -> None:
-        while self.pos < self.length and self.text[self.pos] in _WHITESPACE:
-            self.pos += 1
+        text, pos, length = self.text, self.pos, self.length
+        while pos < length and text[pos] in _WHITESPACE:
+            pos += 1
+        self.pos = pos
 
     def expect(self, literal: str) -> None:
         if not self.text.startswith(literal, self.pos):
@@ -64,12 +78,37 @@ class _Scanner:
 
     def read_name(self) -> str:
         start = self.pos
-        if self.at_end() or self.text[self.pos] not in _NAME_START:
-            raise XmlParseError("expected a name", self.pos)
-        self.pos += 1
-        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
-            self.pos += 1
-        return self.text[start : self.pos]
+        match = _NAME_RE.match(self.text, start)
+        if match is None:
+            raise XmlParseError("expected a name", start)
+        name = match.group()
+        colon = name.find(":")
+        if colon >= 0:
+            second = name.find(":", colon + 1)
+            if second >= 0:
+                raise XmlParseError("multiple colons in name", start + second)
+            if colon == len(name) - 1:
+                raise XmlParseError("name must not end with a colon", start + colon)
+        self.pos = match.end()
+        return name
+
+
+def _decode_char_reference(body: str, pos: int) -> str:
+    if body[1:2] in ("x", "X"):
+        digits = body[2:]
+        if not digits or any(c not in _HEX_DIGITS for c in digits):
+            raise XmlParseError(f"malformed character reference &{body};", pos)
+        code = int(digits, 16)
+    else:
+        digits = body[1:]
+        if not digits or not digits.isascii() or not digits.isdigit():
+            raise XmlParseError(f"malformed character reference &{body};", pos)
+        code = int(digits)
+    if code > 0x10FFFF:
+        raise XmlParseError(f"character reference &{body}; is beyond U+10FFFF", pos)
+    if 0xD800 <= code <= 0xDFFF:
+        raise XmlParseError(f"character reference &{body}; is a surrogate code point", pos)
+    return chr(code)
 
 
 def _decode_entities(raw: str, pos_hint: int) -> str:
@@ -77,7 +116,8 @@ def _decode_entities(raw: str, pos_hint: int) -> str:
         return raw
     out: List[str] = []
     i = 0
-    while i < len(raw):
+    length = len(raw)
+    while i < length:
         ch = raw[i]
         if ch != "&":
             out.append(ch)
@@ -87,10 +127,8 @@ def _decode_entities(raw: str, pos_hint: int) -> str:
         if end < 0:
             raise XmlParseError("unterminated entity reference", pos_hint + i)
         body = raw[i + 1 : end]
-        if body.startswith("#x") or body.startswith("#X"):
-            out.append(chr(int(body[2:], 16)))
-        elif body.startswith("#"):
-            out.append(chr(int(body[1:])))
+        if body.startswith("#"):
+            out.append(_decode_char_reference(body, pos_hint + i))
         elif body in _ENTITIES:
             out.append(_ENTITIES[body])
         else:
@@ -102,11 +140,18 @@ def _decode_entities(raw: str, pos_hint: int) -> str:
 class _NsScope:
     """A chain of in-scope namespace bindings."""
 
-    __slots__ = ("bindings", "parent")
+    __slots__ = ("bindings", "parent", "elem_memo", "attr_memo")
 
     def __init__(self, bindings: Dict[str, str], parent: Optional["_NsScope"]) -> None:
         self.bindings = bindings
         self.parent = parent
+        # Resolved-name memos: SOAP documents hoist all declarations to
+        # the root, so one scope serves the whole tree and the same ~40
+        # raw names resolve thousands of times.  Scoped per _NsScope, so
+        # re-declared prefixes deeper in the tree can never be poisoned
+        # by an ancestor's resolution.
+        self.elem_memo: Dict[str, QName] = {}
+        self.attr_memo: Dict[str, QName] = {}
 
     def resolve(self, prefix: str) -> Optional[str]:
         scope: Optional[_NsScope] = self
@@ -118,45 +163,69 @@ class _NsScope:
 
 
 def _split_qname(raw: str, scope: _NsScope, pos: int, is_attr: bool) -> QName:
-    if ":" in raw:
-        prefix, local = raw.split(":", 1)
+    memo = scope.attr_memo if is_attr else scope.elem_memo
+    qname = memo.get(raw)
+    if qname is not None:
+        return qname
+    colon = raw.find(":")
+    if colon >= 0:
+        prefix = raw[:colon]
         uri = scope.resolve(prefix)
         if uri is None:
             raise XmlParseError(f"unbound namespace prefix {prefix!r}", pos)
-        return QName(uri, local)
-    if is_attr:
+        qname = QName.of(uri, raw[colon + 1 :])
+    elif is_attr:
         # Per the namespaces spec, unprefixed attributes are in no namespace.
-        return QName("", raw)
-    default = scope.resolve("")
-    return QName(default or "", raw)
+        qname = QName.of("", raw)
+    else:
+        default = scope.resolve("")
+        qname = QName.of(default or "", raw)
+    memo[raw] = qname
+    return qname
+
+
+def _is_xml_decl(text: str, pos: int) -> bool:
+    """True when ``text[pos:]`` starts an XML declaration (not a mere
+    ``<?xml-stylesheet ...?>`` PI, whose target merely *starts* with xml)."""
+    if text[pos : pos + 5].lower() != "<?xml":
+        return False
+    nxt = text[pos + 5 : pos + 6]
+    return nxt == "" or nxt == "?" or nxt in _WHITESPACE
 
 
 def parse(text: str) -> Element:
     """Parse *text* and return the root :class:`Element`."""
     scanner = _Scanner(text)
-    _skip_misc(scanner, allow_decl=True)
-    if scanner.at_end() or scanner.peek() != "<":
+    # An XML declaration is legal only as the very first bytes of the
+    # document — consume it here, and let _skip_misc reject any other.
+    if _is_xml_decl(text, 0):
+        scanner.advance(2)
+        scanner.read_until("?>")
+    _skip_misc(scanner)
+    if scanner.at_end() or text[scanner.pos] != "<":
         raise XmlParseError("expected root element", scanner.pos)
     root = _parse_element(scanner, _NsScope({"xml": "http://www.w3.org/XML/1998/namespace"}, None))
-    _skip_misc(scanner, allow_decl=False)
+    _skip_misc(scanner)
     if not scanner.at_end():
         raise XmlParseError("content after document root", scanner.pos)
     return root
 
 
-def _skip_misc(scanner: _Scanner, allow_decl: bool) -> None:
+def _skip_misc(scanner: _Scanner) -> None:
+    text = scanner.text
     while True:
         scanner.skip_whitespace()
-        if scanner.peek(4) == "<!--":
-            scanner.advance(4)
+        pos = scanner.pos
+        if text.startswith("<!--", pos):
+            scanner.pos = pos + 4
             scanner.read_until("-->")
-        elif scanner.peek(2) == "<?":
-            if not allow_decl and scanner.peek(5).lower() == "<?xml":
-                raise XmlParseError("misplaced XML declaration", scanner.pos)
-            scanner.advance(2)
+        elif text.startswith("<?", pos):
+            if _is_xml_decl(text, pos):
+                raise XmlParseError("misplaced XML declaration", pos)
+            scanner.pos = pos + 2
             scanner.read_until("?>")
-        elif scanner.peek(9).upper() == "<!DOCTYPE":
-            raise XmlParseError("DTDs are not supported", scanner.pos)
+        elif text[pos : pos + 9].upper() == "<!DOCTYPE":
+            raise XmlParseError("DTDs are not supported", pos)
         else:
             return
 
@@ -167,24 +236,27 @@ def _parse_attributes(
     """Read attributes; returns (raw attrs, xmlns bindings, empty?, ...)."""
     raw_attrs: List[Tuple[str, str, int]] = []
     ns_bindings: Dict[str, str] = {}
+    text, length = scanner.text, scanner.length
     while True:
         scanner.skip_whitespace()
-        nxt = scanner.peek()
-        if nxt == ">":
-            scanner.advance()
-            return raw_attrs, ns_bindings, False, True
-        if scanner.peek(2) == "/>":
-            scanner.advance(2)
-            return raw_attrs, ns_bindings, True, True
         pos = scanner.pos
+        ch = text[pos] if pos < length else ""
+        if ch == ">":
+            scanner.pos = pos + 1
+            return raw_attrs, ns_bindings, False, True
+        if ch == "/" and text.startswith("/>", pos):
+            scanner.pos = pos + 2
+            return raw_attrs, ns_bindings, True, True
         name = scanner.read_name()
         scanner.skip_whitespace()
-        scanner.expect("=")
+        if scanner.pos >= length or text[scanner.pos] != "=":
+            raise XmlParseError("expected '='", scanner.pos)
+        scanner.pos += 1
         scanner.skip_whitespace()
-        quote = scanner.peek()
+        quote = text[scanner.pos] if scanner.pos < length else ""
         if quote not in ("'", '"'):
             raise XmlParseError("attribute value must be quoted", scanner.pos)
-        scanner.advance()
+        scanner.pos += 1
         value = _decode_entities(scanner.read_until(quote), pos)
         if name == "xmlns":
             ns_bindings[""] = value
@@ -195,18 +267,42 @@ def _parse_attributes(
 
 
 def _parse_element(scanner: _Scanner, scope: _NsScope) -> Element:
-    scanner.expect("<")
+    # Every caller has already seen "<" at the cursor.
+    scanner.pos += 1
     tag_pos = scanner.pos
     raw_tag = scanner.read_name()
-    raw_attrs, ns_bindings, is_empty, _ = _parse_attributes(scanner)
-    if ns_bindings:
-        scope = _NsScope(ns_bindings, scope)
-    element = Element(_split_qname(raw_tag, scope, tag_pos, is_attr=False))
-    for name, value, pos in raw_attrs:
-        qname = _split_qname(name, scope, pos, is_attr=True)
-        if qname in element.attrib:
-            raise XmlParseError(f"duplicate attribute {qname}", pos)
-        element.attrib[qname] = value
+    text = scanner.text
+    # Fast path: most SOAP elements carry no attributes at all — dodge
+    # the attribute loop and its per-element list/dict allocations.
+    pos = scanner.pos
+    nxt = text[pos] if pos < scanner.length else ""
+    if nxt == ">":
+        scanner.pos = pos + 1
+        raw_attrs = None
+        is_empty = False
+    elif nxt == "/" and text.startswith("/>", pos):
+        scanner.pos = pos + 2
+        raw_attrs = None
+        is_empty = True
+    else:
+        raw_attrs, ns_bindings, is_empty, _ = _parse_attributes(scanner)
+        if ns_bindings:
+            scope = _NsScope(ns_bindings, scope)
+    # __new__ skips Element.__init__'s NameLike normalization — the
+    # parser always holds an interned QName already.
+    element = Element.__new__(Element)
+    element.tag = _split_qname(raw_tag, scope, tag_pos, is_attr=False)
+    element.attrib = {}
+    element.text = ""
+    element.tail = ""
+    element.children = []
+    if raw_attrs:
+        attrib = element.attrib
+        for name, value, pos in raw_attrs:
+            qname = _split_qname(name, scope, pos, is_attr=True)
+            if qname in attrib:
+                raise XmlParseError(f"duplicate attribute {qname}", pos)
+            attrib[qname] = value
     if is_empty:
         return element
 
@@ -217,6 +313,7 @@ def _parse_element(scanner: _Scanner, scope: _NsScope) -> Element:
 def _parse_content(scanner: _Scanner, element: Element, scope: _NsScope, raw_tag: str) -> None:
     text_parts: List[str] = []
     last_child: Optional[Element] = None
+    text, length = scanner.text, scanner.length
 
     def flush_text() -> None:
         nonlocal last_child
@@ -230,12 +327,21 @@ def _parse_content(scanner: _Scanner, element: Element, scope: _NsScope, raw_tag
             last_child.tail += chunk
 
     while True:
-        if scanner.at_end():
-            raise XmlParseError(f"unterminated element <{raw_tag}>", scanner.pos)
-        if scanner.peek() == "<":
-            if scanner.peek(2) == "</":
+        pos = scanner.pos
+        if pos >= length:
+            raise XmlParseError(f"unterminated element <{raw_tag}>", pos)
+        if text[pos] == "<":
+            nxt = text[pos + 1] if pos + 1 < length else ""
+            if nxt == "/":
                 flush_text()
-                scanner.advance(2)
+                # Fast path: "</tag>" with no interior whitespace — one
+                # startswith plus one char test instead of a name scan.
+                close = pos + 2 + len(raw_tag)
+                if (close < length and text[close] == ">"
+                        and text.startswith(raw_tag, pos + 2)):
+                    scanner.pos = close + 1
+                    return
+                scanner.pos = pos + 2
                 end_tag = scanner.read_name()
                 if end_tag != raw_tag:
                     raise XmlParseError(
@@ -243,27 +349,29 @@ def _parse_content(scanner: _Scanner, element: Element, scope: _NsScope, raw_tag
                         scanner.pos,
                     )
                 scanner.skip_whitespace()
-                scanner.expect(">")
+                if scanner.pos >= length or text[scanner.pos] != ">":
+                    raise XmlParseError("expected '>'", scanner.pos)
+                scanner.pos += 1
                 return
-            if scanner.peek(4) == "<!--":
-                scanner.advance(4)
-                scanner.read_until("-->")
-                continue
-            if scanner.peek(9) == "<![CDATA[":
-                scanner.advance(9)
-                text_parts.append(scanner.read_until("]]>"))
-                continue
-            if scanner.peek(2) == "<?":
-                scanner.advance(2)
+            if nxt == "!":
+                if text.startswith("<!--", pos):
+                    scanner.pos = pos + 4
+                    scanner.read_until("-->")
+                    continue
+                if text.startswith("<![CDATA[", pos):
+                    scanner.pos = pos + 9
+                    text_parts.append(scanner.read_until("]]>"))
+                    continue
+            elif nxt == "?":
+                scanner.pos = pos + 2
                 scanner.read_until("?>")
                 continue
             flush_text()
             last_child = _parse_element(scanner, scope)
             element.children.append(last_child)
             continue
-        start = scanner.pos
-        end = scanner.text.find("<", start)
+        end = text.find("<", pos)
         if end < 0:
-            raise XmlParseError(f"unterminated element <{raw_tag}>", start)
-        text_parts.append(_decode_entities(scanner.text[start:end], start))
+            raise XmlParseError(f"unterminated element <{raw_tag}>", pos)
+        text_parts.append(_decode_entities(text[pos:end], pos))
         scanner.pos = end

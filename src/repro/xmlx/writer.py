@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+import re
+from typing import Dict, List, Tuple
 
 from repro.xmlx.element import Element
 from repro.xmlx.qname import NS, QName
@@ -10,16 +11,30 @@ from repro.xmlx.qname import NS, QName
 _TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
 _ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
 
+# Most values carry no markup characters; one C-level scan decides
+# whether any replace() allocations are needed at all.
+_TEXT_NEEDS_ESCAPE = re.compile(r"[&<>]").search
+_ATTR_NEEDS_ESCAPE = re.compile(r'[&<>"]').search
+
 
 def escape_text(value: str) -> str:
-    for raw, esc in _TEXT_ESCAPES:
-        value = value.replace(raw, esc)
+    if _TEXT_NEEDS_ESCAPE(value) is None:
+        return value
+    if "&" in value:
+        value = value.replace("&", "&amp;")
+    if "<" in value:
+        value = value.replace("<", "&lt;")
+    if ">" in value:
+        value = value.replace(">", "&gt;")
     return value
 
 
 def escape_attr(value: str) -> str:
-    for raw, esc in _ATTR_ESCAPES:
-        value = value.replace(raw, esc)
+    if _ATTR_NEEDS_ESCAPE(value) is None:
+        return value
+    value = escape_text(value)
+    if '"' in value:
+        value = value.replace('"', "&quot;")
     return value
 
 
@@ -30,6 +45,11 @@ class _PrefixAllocator:
         self._by_uri: Dict[str, str] = {}
         self._used = set()
         self._counter = 0
+        #: memoized "prefix:local" strings — prefixes are stable within
+        #: one document, so each distinct QName is formatted once
+        self._name_memo: Dict[QName, str] = {}
+        #: memoized ("<prefix:local", "</prefix:local>") tag fragments
+        self._tag_memo: Dict[QName, Tuple[str, str]] = {}
 
     def prefix_for(self, uri: str) -> str:
         prefix = self._by_uri.get(uri)
@@ -80,14 +100,64 @@ def to_string(root: Element, xml_declaration: bool = False, indent: bool = False
         out.append('<?xml version="1.0" encoding="utf-8"?>')
         if indent:
             out.append("\n")
-    _write(root, allocator, out, root_decls=allocator.declarations(), indent=indent, depth=0)
+    if indent:
+        _write(root, allocator, out, root_decls=allocator.declarations(), indent=True, depth=0)
+    else:
+        _write_compact(root, allocator, out, allocator.declarations())
     return "".join(out)
 
 
 def _name(qname: QName, allocator: _PrefixAllocator) -> str:
-    if not qname.uri:
-        return qname.local
-    return f"{allocator.prefix_for(qname.uri)}:{qname.local}"
+    memo = allocator._name_memo
+    formatted = memo.get(qname)
+    if formatted is None:
+        if not qname.uri:
+            formatted = qname.local
+        else:
+            formatted = f"{allocator.prefix_for(qname.uri)}:{qname.local}"
+        memo[qname] = formatted
+    return formatted
+
+
+def _write_compact(
+    element: Element,
+    allocator: _PrefixAllocator,
+    out: List[str],
+    root_decls=None,
+) -> None:
+    """Non-indented serialization — the wire-format hot path.
+
+    Same output as ``_write(indent=False)``; start/end tag fragments are
+    memoized per QName so repeated names cost two dict hits, not string
+    formatting.
+    """
+    memo = allocator._tag_memo
+    tag = element.tag
+    parts = memo.get(tag)
+    if parts is None:
+        name = _name(tag, allocator)
+        parts = ("<" + name, "</" + name + ">")
+        memo[tag] = parts
+    out.append(parts[0])
+    if root_decls:
+        for decl in root_decls:
+            out.append(" " + decl)
+    if element.attrib:
+        for name, value in element.attrib.items():
+            out.append(f' {_name(name, allocator)}="{escape_attr(value)}"')
+    text = element.text
+    children = element.children
+    if not text and not children:
+        out.append(" />")
+        return
+    out.append(">")
+    if text:
+        out.append(escape_text(text))
+    for child in children:
+        _write_compact(child, allocator, out)
+        if child.tail:
+            out.append(escape_text(child.tail))
+    out.append(parts[1])
 
 
 def _write(
