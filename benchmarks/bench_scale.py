@@ -12,11 +12,14 @@ Two system-level shapes that bound the architecture the paper built:
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from conftest import print_table, run_coroutine
 
-from repro.gridapp import FileRef, JobSpec, Testbed
+from repro.gridapp import FileRef, HashRing, JobSpec, Testbed
 from repro.net import Network
 from repro.osim import Machine, MachineParams
 from repro.osim.programs import make_compute_program
@@ -117,6 +120,102 @@ def bench_scale_worker_pool_knee(benchmark):
     # pool size, a deep one at 4x over-subscription.
     assert max(depth_series[1]) == 0
     assert max(depth_series[16]) > max(depth_series[4]) + 4
+
+
+def bench_scale_federation_knee(benchmark):
+    """Worker-pool knee vs zone count: sharding clients across federated
+    zone servers by consistent hash moves the saturation knee right.
+
+    Each zone is one 4-worker IIS front-end; clients are routed to the
+    zone that owns their id on the :class:`HashRing` (the same ring the
+    federated Testbed uses to shard job sets, docs/federation.md).  The
+    knee for a zone count is the largest swept concurrency whose mean
+    response time stays within 1.5x of that configuration's unloaded
+    mean.  Emits ``BENCH_federation.json`` for the CI artifact
+    (`bench-federation` job).
+    """
+
+    SWEEP = (1, 2, 4, 8, 16, 32)
+    KNEE_FACTOR = 1.5
+
+    def scenario():
+        rows = []
+        knees = {}
+        all_series = {}
+        for n_zones in (1, 2, 4):
+            zones = [f"z{z:02d}" for z in range(n_zones)]
+            ring = HashRing(zones)
+            series = {}
+            for concurrency in SWEEP:
+                env = Environment()
+                net = Network(env)
+                for zone in zones:
+                    machine = Machine(
+                        net, zone, params=MachineParams(iis_workers=4)
+                    )
+                    machine.iis.register_app("Work", _FixedWorkApp(env))
+                latencies = []
+
+                def one_client(env, index):
+                    net.add_host(f"c{index}")
+                    zone = ring.owner(f"c{index}")
+                    for _ in range(5):
+                        start = env.now
+                        yield from net.request(
+                            f"c{index}", f"http://{zone}:80/Work", "x"
+                        )
+                        latencies.append(env.now - start)
+
+                for i in range(concurrency):
+                    env.process(one_client(env, i))
+                env.run()
+                series[concurrency] = sum(latencies) / len(latencies)
+            threshold = KNEE_FACTOR * series[SWEEP[0]]
+            knee = max(c for c in SWEEP if series[c] <= threshold)
+            knees[n_zones] = knee
+            all_series[n_zones] = series
+            rows.append(
+                [n_zones, knee]
+                + [series[c] * 1000 for c in SWEEP]
+            )
+        return rows, knees, all_series
+
+    rows, knees, all_series = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    print_table(
+        "SCALE: federation knee (4 ASP.NET workers/zone, 50ms service)",
+        ["zones", "knee"] + [f"c{c}_mean_ms" for c in SWEEP],
+        rows,
+    )
+    benchmark.extra_info.update({f"z{k}_knee": v for k, v in knees.items()})
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_federation.json"
+    out.write_text(
+        json.dumps(
+            {
+                "sweep": list(SWEEP),
+                "knee_factor": KNEE_FACTOR,
+                "zones": {
+                    str(z): {
+                        "knee": knees[z],
+                        "mean_response_ms": {
+                            str(c): all_series[z][c] * 1000 for c in SWEEP
+                        },
+                    }
+                    for z in knees
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    # The knee-position gate: adding a second zone moves the saturation
+    # knee to strictly higher concurrency, and more zones never move it
+    # back left.  One zone saturates at its 4-worker pool size.
+    assert knees[1] == 4
+    assert knees[2] > knees[1]
+    assert knees[4] >= knees[2]
+    # Sharding only helps at the knee, not below it: unloaded response
+    # time is the same regardless of zone count.
+    assert all_series[2][1] == pytest.approx(all_series[1][1], rel=0.05)
 
 
 def bench_scale_grid_size(benchmark):

@@ -32,16 +32,26 @@ from repro.gridapp.node_info import NodeInfoService, processor_content
 from repro.gridapp.scheduler import FaultToleranceConfig, SchedulerService
 from repro.gridapp.utilization import ProcessorUtilizationService
 from repro.gridapp.client import GridClient
+from repro.gridapp.aggregator import AggregatorCatalogService
+from repro.gridapp.federation import (
+    FederatedGridClient,
+    FederationConfig,
+    HashRing,
+)
 from repro.gridapp.report import JobSetReport, build_report, render_gantt, render_summary
 from repro.gridapp.testbed import Testbed
 
 __all__ = [
+    "AggregatorCatalogService",
     "EventTrace",
     "ExecutionService",
     "FaultToleranceConfig",
+    "FederatedGridClient",
+    "FederationConfig",
     "FileRef",
     "FileSystemService",
     "GridClient",
+    "HashRing",
     "JobSetReport",
     "build_report",
     "render_gantt",

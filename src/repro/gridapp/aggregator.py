@@ -1,0 +1,181 @@
+"""The cross-zone aggregator catalog: a ServiceGroup of ServiceGroups.
+
+Each federation zone runs its own Node Info Service (a WS-ServiceGroup
+of processors, §4.4).  The aggregator — deployed on the federation's
+root machine — is a second-order ServiceGroup whose entries are the
+*zone NIS groups themselves*: each entry's member EPR points at a zone
+NIS and its content document caches that zone's processor catalog with
+a fetch timestamp.
+
+The staleness contract (docs/federation.md): ``GetAllProcessors``
+serves an entry's cached catalog if it was fetched within the last
+``staleness_s`` simulated seconds; older entries are re-fetched from
+the zone NIS inline.  A zone that cannot be reached (partitioned, host
+down) is served *stale* rather than blocking or erroring — schedulers
+consulting the catalog during a zone outage still see the federation's
+last known shape, which is exactly when they need it most.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gridapp.node_info import parse_processor_content, processor_content
+from repro.net import DeliveryError
+from repro.soap import SoapFault
+from repro.wsa import EndpointReference
+from repro.wsrf.attributes import WebMethod
+from repro.wsrf.servicegroup import ServiceGroupService
+from repro.xmlx import NS, Element, QName
+
+UVA = NS.UVACG
+SG = NS.WSRF_SG
+
+ZONE_CATALOG = QName(UVA, "ZoneCatalog")
+
+
+def zone_catalog_content(
+    zone: str,
+    nis_epr: EndpointReference,
+    fetched_at: float,
+    processors: List[Dict],
+) -> Element:
+    """The Content document caching one zone's processor catalog."""
+    el = Element(ZONE_CATALOG)
+    el.subelement(QName(UVA, "Zone"), text=zone)
+    el.append(nis_epr.to_xml(QName(UVA, "NisEPR")))
+    el.subelement(QName(UVA, "FetchedAt"), text=repr(float(fetched_at)))
+    for p in processors:
+        el.append(
+            processor_content(
+                p["name"], p["cpu_speed"], p["ram_mb"],
+                p["utilization"], p["updated_at"],
+            )
+        )
+    return el
+
+
+def parse_zone_catalog(el: Element) -> Dict:
+    nis_el = el.find(QName(UVA, "NisEPR"))
+    return {
+        "zone": el.child_text(QName(UVA, "Zone"), ""),
+        "nis_epr": (
+            EndpointReference.from_xml(nis_el) if nis_el is not None else None
+        ),
+        "fetched_at": float(el.child_text(QName(UVA, "FetchedAt"), "0.0")),
+        "processors": [
+            parse_processor_content(child)
+            for child in el.children
+            if child.tag == QName(UVA, "ProcessorInfo")
+        ],
+    }
+
+
+class AggregatorCatalogService(ServiceGroupService):
+    """ServiceGroup-of-ServiceGroups with staleness-bounded entries."""
+
+    @WebMethod(requires_resource=False)
+    def GetAllProcessors(self) -> List[Dict]:
+        """Every processor in the federation, tagged with its zone.
+
+        Fresh entries (fetched within ``staleness_s``) are served from
+        cache; stale ones are re-fetched from the zone NIS inline.  An
+        unreachable zone is served stale — the catalog never blocks on
+        a dead zone.
+        """
+        wrapper = self.wsrf.wrapper
+        group_id = getattr(wrapper, "agg_group_rid", None)
+        if group_id is None:
+            return []
+        staleness_s = getattr(wrapper, "staleness_s", 5.0)
+        group_state = wrapper.store.load(wrapper.service_name, group_id)
+        out: List[Dict] = []
+        for entry_id in group_state.get(QName(SG, "entry_ids")) or []:
+            # Same serialization discipline as NIS ReportUtilization:
+            # the refresh below is a load-modify-save on the entry row
+            # outside a requires_resource dispatch, so take the entry's
+            # own resource lock for the whole read-refresh-serve cycle.
+            lock = wrapper.resource_lock(entry_id)
+            yield lock.acquire()
+            try:
+                try:
+                    state = wrapper.store.load(wrapper.service_name, entry_id)
+                except KeyError:
+                    continue
+                content = state.get(QName(SG, "content"))
+                if content is None:
+                    continue
+                catalog = parse_zone_catalog(content)
+                age = self.env.now - catalog["fetched_at"]
+                if age > staleness_s and catalog["nis_epr"] is not None:
+                    try:
+                        processors = yield from self.client.call(
+                            catalog["nis_epr"], SG, "GetProcessors",
+                            category="nis",
+                        )
+                    except (DeliveryError, SoapFault):
+                        wrapper.catalog_stale_served = (
+                            getattr(wrapper, "catalog_stale_served", 0) + 1
+                        )
+                    else:
+                        catalog["processors"] = processors
+                        catalog["fetched_at"] = self.env.now
+                        state[QName(SG, "content")] = zone_catalog_content(
+                            catalog["zone"], catalog["nis_epr"],
+                            catalog["fetched_at"], processors,
+                        )
+                        wrapper.store.save(
+                            wrapper.service_name, entry_id, state
+                        )
+                        wrapper.catalog_refreshes = (
+                            getattr(wrapper, "catalog_refreshes", 0) + 1
+                        )
+                for p in catalog["processors"]:
+                    out.append(dict(p, zone=catalog["zone"]))
+            finally:
+                lock.release()
+        return out
+
+
+def setup_aggregator(wrapper, zones, staleness_s: float) -> str:
+    """Create the aggregator group with one entry per zone.
+
+    Runs at testbed assembly (the administrator seeds the federation
+    catalog, mirroring ``setup_node_info``); entries start with the
+    zones' assembly-time processor parameters so the catalog is usable
+    before the first refresh.  Returns the group resource id.
+    """
+    group_rid = wrapper.create_resource_from_fields(
+        {"kind": "group", "entry_ids": [], "content_rule": ZONE_CATALOG.clark()}
+    )
+    wrapper.agg_group_rid = group_rid
+    wrapper.staleness_s = staleness_s
+    entry_ids = []
+    for zone in zones:
+        nis_epr = zone.node_info.service_epr()
+        processors = [
+            {
+                "name": machine.name,
+                "cpu_speed": machine.params.cpu_speed,
+                "ram_mb": machine.params.ram_mb,
+                "utilization": machine.utilization(),
+                "updated_at": wrapper.env.now,
+            }
+            for machine in zone.machines
+        ]
+        entry_rid = wrapper.create_resource_from_fields(
+            {
+                "kind": "entry",
+                "member_epr": nis_epr,
+                "content": zone_catalog_content(
+                    zone.name, nis_epr, wrapper.env.now, processors
+                ),
+                "group_id": group_rid,
+            }
+        )
+        entry_ids.append(entry_rid)
+    state = wrapper.store.load(wrapper.service_name, group_rid)
+    state[QName(SG, "entry_ids")] = entry_ids
+    wrapper.store.save(wrapper.service_name, group_rid, state)
+    wrapper._pending_db_ops = 0  # assembly-time writes are not billed
+    return group_rid

@@ -178,27 +178,40 @@ class GridClient:
 
     # -- submission and monitoring ----------------------------------------------------------
 
-    def submit(self, spec: JobSetSpec):
-        """Coroutine: submit the job set; returns (jobset_epr, topic)."""
+    def submit(self, spec: JobSetSpec, scheduler_epr=None, scheduler_cert=None,
+               origin: str = ""):
+        """Coroutine: submit the job set; returns (jobset_epr, topic).
+
+        *scheduler_epr*/*scheduler_cert* override the default Scheduler
+        (federation routing submits to a zone's Scheduler); *origin*,
+        when non-empty, names the zone a stolen job set came from.
+        """
         spec.validate()
+        scheduler_epr = scheduler_epr or self.scheduler_epr
+        scheduler_cert = scheduler_cert or self.scheduler_cert
         tracing.record(self.network, 1, f"Client@{self.host_name}",
                        f"submit {len(spec.jobs)} jobs")
-        header = build_security_header(self.credentials, self.scheduler_cert)
+        header = build_security_header(self.credentials, scheduler_cert)
         if self.user_keys is not None and self.user_cert is not None:
             # Delegate a signed identity token alongside the encrypted
             # username/password, for dispatch to GT4 machines.
             header.append(
                 x509_token_element(self.user_keys, self.user_cert, self.env.now)
             )
+        args = {
+            "jobs": spec.to_wire(),
+            "listener_epr": self.listener.epr,
+            "fileserver_epr": self.file_server.epr,
+        }
+        if origin:
+            # Only on the wire when set, so default submissions keep
+            # their exact historical byte shape.
+            args["origin"] = origin
         result = yield from self.soap.call(
-            self.scheduler_epr,
+            scheduler_epr,
             UVA,
             "SubmitJobSet",
-            {
-                "jobs": spec.to_wire(),
-                "listener_epr": self.listener.epr,
-                "fileserver_epr": self.file_server.epr,
-            },
+            args,
             extra_headers=[header],
             category="submit",
         )

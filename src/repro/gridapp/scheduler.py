@@ -183,8 +183,13 @@ class SchedulerService(ServiceSkeleton):
         jobs: List[Dict],
         listener_epr: Optional[EndpointReference] = None,
         fileserver_epr: Optional[EndpointReference] = None,
+        origin: str = "",
     ) -> Dict:
-        """Step 1: accept a job set; returns {"jobset": EPR, "topic": str}."""
+        """Step 1: accept a job set; returns {"jobset": EPR, "topic": str}.
+
+        *origin* (federation only) names the zone a stolen job set was
+        first submitted to; this Scheduler adopts it as its own.
+        """
         machine = self.machine
         wrapper = self.wsrf.wrapper
         spec = JobSetSpec.from_wire(jobs)
@@ -202,6 +207,14 @@ class SchedulerService(ServiceSkeleton):
             else None
         )
         tracing.record(machine, 1, "Scheduler", f"job set of {len(spec.jobs)} jobs")
+        if origin:
+            # Work stealing: a federated client re-routed this job set
+            # here after zone *origin* stopped answering.
+            wrapper.jobsets_stolen = getattr(wrapper, "jobsets_stolen", 0) + 1
+            tracing.record(
+                machine, 12, "Scheduler",
+                f"adopting job set of {len(spec.jobs)} jobs from zone {origin}",
+            )
 
         seq = getattr(wrapper, "_jobset_seq", 0) + 1
         wrapper._jobset_seq = seq
@@ -234,7 +247,12 @@ class SchedulerService(ServiceSkeleton):
         # "The SS then invokes the Subscribe() method on the Notification
         # Broker to subscribe both itself and the client's notification
         # listener to receive notifications about the new topic."
-        broker_epr = getattr(wrapper, "broker_epr", None)
+        # Federated zones subscribe at the *root* broker — zone brokers
+        # uplink every publish there, so subscribers see events from any
+        # zone a job may run in.
+        broker_epr = getattr(wrapper, "subscribe_broker_epr", None) or getattr(
+            wrapper, "broker_epr", None
+        )
         if broker_epr is not None:
             yield from self.client.invoke(
                 broker_epr,
@@ -454,21 +472,54 @@ class SchedulerService(ServiceSkeleton):
                 in_flight[where] = in_flight.get(where, 0) + 1
         if exclude:
             processors = [p for p in processors if p["name"] not in exclude]
-            if not processors:
-                raise SchedulingFault(
-                    description=(
-                        f"no processors left for {job.name!r} after excluding "
-                        f"{sorted(exclude)}"
-                    )
-                )
         processors = [
             dict(p, queued=in_flight.get(p["name"], 0)) for p in processors
         ]
+        aggregator_epr = getattr(wrapper, "aggregator_epr", None)
+        if aggregator_epr is not None:
+            fed = getattr(wrapper, "federation", None)
+            cap = fed.max_queued_per_machine if fed is not None else 4
+            if not processors or all(p["queued"] >= cap for p in processors):
+                # The local zone is full (or exclusions emptied it):
+                # consult the cross-zone aggregator catalog for capacity
+                # anywhere in the federation.
+                tracing.record(
+                    machine, 12, "Scheduler",
+                    f"zone {getattr(wrapper, 'zone', '?')} full; consulting "
+                    f"aggregator for {job.name}",
+                )
+                catalog = yield from self.client.call(
+                    aggregator_epr, SG, "GetAllProcessors", category="nis"
+                )
+                remote = [
+                    dict(p, queued=in_flight.get(p["name"], 0))
+                    for p in catalog
+                    if p["name"] not in exclude
+                ]
+                if remote:
+                    processors = remote
+        if exclude and not processors:
+            raise SchedulingFault(
+                description=(
+                    f"no processors left for {job.name!r} after excluding "
+                    f"{sorted(exclude)}"
+                )
+            )
         chosen = choose_machine(
             processors, policy, rng=getattr(wrapper, "rng", None),
             rr_state=wrapper._rr_state,
         )
         target = chosen["name"]
+        zone = getattr(wrapper, "zone", None)
+        if zone is not None and chosen.get("zone", zone) != zone:
+            wrapper.cross_zone_dispatches = (
+                getattr(wrapper, "cross_zone_dispatches", 0) + 1
+            )
+            tracing.record(
+                machine, 12, "Scheduler",
+                f"{job.name} dispatched cross-zone to "
+                f"{chosen['zone']}:{target}",
+            )
 
         files = [self._resolve(job.executable, job.name, name_map)]
         for ref in job.inputs:

@@ -59,6 +59,7 @@ class Testbed:
         perf=None,
         profile: bool = False,
         sanitize: bool = False,
+        federation=None,
     ) -> None:
         """Assemble the grid; optional knobs enable fault tolerance.
 
@@ -94,6 +95,16 @@ class Testbed:
         (docs/static_analysis.md).  Observation only — simulated results
         stay byte-identical (tests/test_sanitizer.py asserts it); call
         ``tb.san.assert_clean()`` after a run.
+
+        ``federation`` (a
+        :class:`repro.gridapp.federation.FederationConfig`, or an int
+        zone count, see docs/federation.md) replaces the single-site
+        topology with a federated one: per-zone central machines each
+        running a Scheduler + NIS + broker, grid machines sharded
+        round-robin across zones, a root machine carrying the root
+        broker and the cross-zone aggregator catalog.  ``None`` (the
+        default) keeps the paper's Fig. 3 single-site grid and every
+        existing trace/export byte-identical.
         """
         if n_machines < 1:
             raise ValueError("a grid needs at least one machine")
@@ -146,6 +157,71 @@ class Testbed:
         if len(machine_speeds) != n_machines:
             raise ValueError("machine_speeds length must equal n_machines")
 
+        # -- topology: single site (the paper's Fig. 3) or federated zones ---
+        self.federation = None
+        self.zones: List = []
+        self.root = None
+        if federation is not None:
+            from repro.gridapp.federation import FederationConfig
+
+            if isinstance(federation, int):
+                federation = FederationConfig(n_zones=federation)
+            if n_linux_machines:
+                raise ValueError(
+                    "federation and n_linux_machines are mutually exclusive"
+                )
+            self.federation = federation
+            self._assemble_federated(
+                federation, n_machines, machine_speeds, seed,
+                utilization_threshold, utilization_period,
+                start_utilization_services, scheduling_policy,
+                cores_per_machine, perf,
+            )
+        else:
+            self._assemble_single(
+                n_machines, machine_speeds, seed, utilization_threshold,
+                utilization_period, start_utilization_services,
+                scheduling_policy, cores_per_machine, n_linux_machines, perf,
+            )
+
+        # -- fault-tolerance layer (all opt-in) ----------------------------------
+        self.retry_policy = retry_policy
+        if fault_tolerance is not None:
+            for scheduler in self._schedulers:
+                scheduler.fault_tolerance = fault_tolerance
+        if broker_redelivery is not None:
+            from repro.wsn.broker import enable_redelivery
+
+            for broker in self._brokers:
+                enable_redelivery(broker, broker_redelivery)
+        if perf is not None and perf.notification_batch_window_s > 0:
+            from repro.wsn.batching import enable_batching
+
+            # Only the brokers' fan-out batches: they are the producers
+            # with per-event subscriber multiplicity (the ES->broker leg
+            # is already a single message per event).
+            for broker in self._brokers:
+                enable_batching(broker, perf.notification_batch_window_s)
+        if retry_policy is not None:
+            for wrapper in self._wrappers:
+                wrapper.client.retry_policy = retry_policy
+
+        self._client_seq = 0
+
+    def _assemble_single(
+        self,
+        n_machines: int,
+        machine_speeds: Sequence[float],
+        seed: int,
+        utilization_threshold: float,
+        utilization_period: float,
+        start_utilization_services: bool,
+        scheduling_policy: str,
+        cores_per_machine: int,
+        n_linux_machines: int,
+        perf,
+    ) -> None:
+        """The paper's Fig. 3 deployment: one central machine."""
         # -- central services machine ---------------------------------------------
         self.central = Machine(
             self.network, "uvacg-central", params=MachineParams(cpu_speed=2.0),
@@ -227,28 +303,164 @@ class Testbed:
         self.scheduler.rng = np.random.default_rng(seed + 1)
         self.scheduler.gt4_machines = {m.name for m in self.linux_machines}
 
-        # -- fault-tolerance layer (all opt-in) ----------------------------------
-        self.retry_policy = retry_policy
-        if fault_tolerance is not None:
-            self.scheduler.fault_tolerance = fault_tolerance
-        if broker_redelivery is not None:
-            from repro.wsn.broker import enable_redelivery
+        self._schedulers = [self.scheduler]
+        self._brokers = [self.broker]
+        self._wrappers = (
+            [self.scheduler, self.broker, self.node_info]
+            + list(self.fss.values())
+            + list(self.es.values())
+        )
 
-            enable_redelivery(self.broker, broker_redelivery)
-        if perf is not None and perf.notification_batch_window_s > 0:
-            from repro.wsn.batching import enable_batching
+    def _assemble_federated(
+        self,
+        config,
+        n_machines: int,
+        machine_speeds: Sequence[float],
+        seed: int,
+        utilization_threshold: float,
+        utilization_period: float,
+        start_utilization_services: bool,
+        scheduling_policy: str,
+        cores_per_machine: int,
+        perf,
+    ) -> None:
+        """The federated deployment (docs/federation.md).
 
-            # Only the broker's fan-out batches: it is the one producer
-            # with per-event subscriber multiplicity (the ES->broker leg
-            # is already a single message per event).
-            enable_batching(self.broker, perf.notification_batch_window_s)
-        if retry_policy is not None:
-            wrappers = [self.scheduler, self.broker, self.node_info]
-            wrappers += list(self.fss.values()) + list(self.es.values())
-            for wrapper in wrappers:
-                wrapper.client.retry_policy = retry_policy
+        One root machine (root broker + aggregator catalog), one central
+        machine per zone (Scheduler + NIS + zone broker uplinked to the
+        root), grid machines sharded round-robin across zones.
+        """
+        from repro.gridapp.aggregator import (
+            AggregatorCatalogService,
+            setup_aggregator,
+        )
+        from repro.gridapp.federation import Zone
+        from repro.wsn.broker import federate_brokers
 
-        self._client_seq = 0
+        if config.n_zones > n_machines:
+            raise ValueError(
+                f"{config.n_zones} zones need at least that many grid "
+                f"machines (got {n_machines})"
+            )
+
+        # -- root machine: federation-wide services --------------------------------
+        self.root = Machine(
+            self.network, "uvacg-root", params=MachineParams(cpu_speed=2.0),
+            programs=self.programs,
+        )
+        self._enroll(self.root)
+        self.root_broker = deploy(
+            NotificationBrokerService, self.root, "NotificationBroker",
+            perf=perf,
+        )
+        attach_notification_producer(self.root_broker)
+        self.root_broker.zone = "root"
+        self.aggregator = deploy(
+            AggregatorCatalogService, self.root, "AggregatorCatalog",
+            perf=perf,
+        )
+        self.aggregator.zone = "root"
+
+        # -- zone central machines ----------------------------------------------------
+        self.zones = []
+        for z in range(config.n_zones):
+            zone_name = f"z{z:02d}"
+            central = Machine(
+                self.network, f"uvacg-{zone_name}",
+                params=MachineParams(cpu_speed=2.0), programs=self.programs,
+            )
+            self._enroll(central)
+            broker = deploy(
+                NotificationBrokerService, central, "NotificationBroker",
+                perf=perf,
+            )
+            attach_notification_producer(broker)
+            federate_brokers(broker, self.root_broker.service_epr())
+            node_info = deploy(NodeInfoService, central, "NodeInfo", perf=perf)
+            scheduler = deploy(SchedulerService, central, "Scheduler", perf=perf)
+            for wrapper in (broker, node_info, scheduler):
+                wrapper.zone = zone_name
+            self.zones.append(
+                Zone(
+                    name=zone_name, central=central, broker=broker,
+                    node_info=node_info, scheduler=scheduler,
+                )
+            )
+
+        # -- grid machines, sharded round-robin across zones -----------------------
+        self.machines = []
+        self.linux_machines = []
+        self.fss = {}
+        self.es = {}
+        self.utilization_services = {}
+        for i in range(n_machines):
+            zone = self.zones[i % config.n_zones]
+            machine = Machine(
+                self.network,
+                f"node{i:02d}",
+                params=MachineParams(
+                    cpu_speed=float(machine_speeds[i]), cores=cores_per_machine
+                ),
+                programs=self.programs,
+            )
+            machine.users.add_user(GRID_USER, GRID_PASSWORD)
+            machine.fs.mkdir(GRID_ROOT)
+            self._enroll(machine)
+            self.machines.append(machine)
+            zone.machines.append(machine)
+            fss = deploy(FileSystemService, machine, "FileSystem", perf=perf)
+            fss.zone = zone.name
+            self.fss[machine.name] = fss
+            es = deploy(ExecutionService, machine, "ExecService", perf=perf)
+            es.broker_epr = zone.broker.service_epr()
+            es.zone = zone.name
+            self.es[machine.name] = es
+            util = ProcessorUtilizationService(
+                machine,
+                zone.node_info.service_epr(),
+                threshold=utilization_threshold,
+                period=utilization_period,
+            )
+            self.utilization_services[machine.name] = util
+            if start_utilization_services:
+                util.start()
+
+        # -- wiring ------------------------------------------------------------------
+        # Cross-zone dispatch means any zone's Scheduler may target any
+        # grid machine, so every Scheduler knows every machine's cert.
+        machine_certs = {m.name: m.cert for m in self.machines}
+        for z, zone in enumerate(self.zones):
+            setup_node_info(zone.node_info, zone.machines)
+            scheduler = zone.scheduler
+            scheduler.nis_epr = zone.node_info.service_epr()
+            scheduler.broker_epr = zone.broker.service_epr()
+            scheduler.subscribe_broker_epr = self.root_broker.service_epr()
+            scheduler.machine_certs = machine_certs
+            scheduler.scheduling_policy = scheduling_policy
+            scheduler.rng = np.random.default_rng(seed + 1 + z)
+            scheduler.gt4_machines = set()
+            scheduler.federation = config
+            scheduler.aggregator_epr = self.aggregator.service_epr()
+        setup_aggregator(self.aggregator, self.zones, config.staleness_s)
+
+        # Zone 0 doubles as the default site, so single-site helpers
+        # (make_client, restart_host, existing assertions) keep working
+        # against a federated testbed.
+        self.central = self.zones[0].central
+        self.broker = self.zones[0].broker
+        self.node_info = self.zones[0].node_info
+        self.scheduler = self.zones[0].scheduler
+
+        self._schedulers = [zone.scheduler for zone in self.zones]
+        self._brokers = [self.root_broker] + [z.broker for z in self.zones]
+        self._wrappers = (
+            self._schedulers
+            + self._brokers
+            + [zone.node_info for zone in self.zones]
+            + [self.aggregator]
+            + list(self.fss.values())
+            + list(self.es.values())
+        )
 
     def _enroll(self, machine: Machine) -> None:
         machine.keys, machine.cert = enroll(self.ca, machine.name)
@@ -291,6 +503,28 @@ class Testbed:
             retry_policy=(
                 retry_policy if retry_policy is not None else self.retry_policy
             ),
+        )
+
+    def make_federated_client(self, **kwargs):
+        """A scientist's machine with federation-aware routing.
+
+        Wraps :meth:`make_client` in a
+        :class:`repro.gridapp.federation.FederatedGridClient` that
+        shards job sets across zones by consistent hash and fails over
+        (and, by default, steals work) when a zone dies.
+        """
+        from repro.gridapp.federation import FederatedGridClient, ZoneRoute
+
+        if not self.zones:
+            raise ValueError(
+                "make_federated_client needs Testbed(federation=...)"
+            )
+        routes = [
+            ZoneRoute(z.name, z.scheduler.service_epr(), z.central.cert)
+            for z in self.zones
+        ]
+        return FederatedGridClient(
+            self.make_client(**kwargs), routes, self.federation
         )
 
     # -- execution helpers -----------------------------------------------------------------
@@ -356,9 +590,40 @@ class Testbed:
 
         return self.env.process(_bounce(self.env))
 
+    def zone_hosts(self, index: int) -> set:
+        """Host names belonging to zone *index* (central + grid machines)."""
+        zone = self.zones[index]
+        return {zone.central.name} | {m.name for m in zone.machines}
+
+    def partition_zone(self, index: int) -> None:
+        """Sever zone *index* from every other host on the network.
+
+        The zone keeps running internally (its Scheduler can still talk
+        to its own machines) but nothing crosses the cut — clients time
+        out against its Scheduler and its broker's uplink to the root
+        goes dark.  Undo with :meth:`heal_zone`.
+        """
+        inside = self.zone_hosts(index)
+        for a in inside:
+            for b in self.network.hosts:
+                if b not in inside:
+                    self.network.partition(a, b)
+
+    def heal_zone(self, index: int) -> None:
+        inside = self.zone_hosts(index)
+        for a in inside:
+            for b in list(self.network.hosts):
+                if b not in inside:
+                    self.network.heal(a, b)
+
     def _machine_named(self, name: str) -> Machine:
         if self.central.name == name:
             return self.central
+        if self.root is not None and self.root.name == name:
+            return self.root
+        for zone in self.zones:
+            if zone.central.name == name:
+                return zone.central
         for machine in self.machines:
             if machine.name == name:
                 return machine

@@ -157,6 +157,12 @@ class Observability:
         # several machines (every node runs an ExecService): set_total
         # would otherwise let the last wrapper win.
         ids = {"service": wrapper.path, "host": machine.name}
+        # Federation: zone-labelled metrics.  The zone tag exists only on
+        # wrappers a federated Testbed assembled, so default (single-site)
+        # exports stay byte-identical.
+        zone = getattr(wrapper, "zone", None)
+        if zone is not None:
+            ids["zone"] = zone
         reg.counter("wsrf.invocations", **ids).set_total(wrapper.invocations)
         reg.counter("wsrf.faults_returned", **ids).set_total(wrapper.faults_returned)
         store = wrapper.store
@@ -228,6 +234,24 @@ class Observability:
         readopted = getattr(wrapper, "jobsets_readopted", None)
         if readopted is not None:
             reg.counter("scheduler.jobsets_readopted", **ids).set_total(readopted)
+        # Federation counters (docs/federation.md), set lazily by the
+        # scheduler's cross-zone paths and the aggregator catalog.
+        stolen = getattr(wrapper, "jobsets_stolen", None)
+        if stolen is not None:
+            reg.counter("scheduler.jobsets_stolen", **ids).set_total(stolen)
+        cross_zone = getattr(wrapper, "cross_zone_dispatches", None)
+        if cross_zone is not None:
+            reg.counter("scheduler.cross_zone_dispatches", **ids).set_total(
+                cross_zone
+            )
+        refreshes = getattr(wrapper, "catalog_refreshes", None)
+        if refreshes is not None:
+            reg.counter("federation.catalog_refreshes", **ids).set_total(refreshes)
+        stale_served = getattr(wrapper, "catalog_stale_served", None)
+        if stale_served is not None:
+            reg.counter("federation.catalog_stale_served", **ids).set_total(
+                stale_served
+            )
         if machine.name not in seen_machines:
             seen_machines.add(machine.name)
             reg.counter("iis.requests_served", host=machine.name).set_total(

@@ -215,6 +215,29 @@ def deploy_broker(machine, path: str = "NotificationBroker"):
     return wrapper
 
 
+def federate_brokers(zone_broker, root_epr: EndpointReference) -> str:
+    """Uplink a zone broker into a root broker (broker hierarchy).
+
+    The zone broker subscribes the root broker's consumer endpoint to
+    ``**`` — every notification published at the zone is re-published
+    at the root, where federation-wide subscribers (schedulers, client
+    listeners) attach.  The hierarchy is strictly upward — the root
+    never re-publishes down to zone brokers — so no notification loops.
+
+    Runs at testbed assembly (the administrator wires the topology), so
+    the subscription rows are not billed as traffic-driven db ops.
+    Returns the uplink's subscription resource id.
+    """
+    from repro.wsn.topics import FULL_DIALECT, TopicExpression
+
+    producer = attach_notification_producer(zone_broker)
+    rid = producer.add_subscription(
+        root_epr, TopicExpression("**", FULL_DIALECT)
+    )
+    zone_broker._pending_db_ops = 0  # assembly-time writes are not billed
+    return rid
+
+
 def enable_redelivery(wrapper, policy):
     """Give *wrapper*'s producer bounded notification redelivery.
 

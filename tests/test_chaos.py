@@ -233,6 +233,113 @@ class TestRestartUnderFire:
         assert persisted.isdisjoint(producer.dropped_subscribers)
 
 
+class TestFederationUnderFire:
+    """The federation layer under chaos (docs/federation.md).
+
+    Two scenarios beyond the single-site chaos suite:
+
+    * **Zone partition + work stealing** — 20% drop everywhere, plus the
+      job set's owning zone severed from the rest of the network
+      mid-run.  The federated client's Status polls hit a dead
+      Scheduler, exhaust retries and *steal* the set to the next zone on
+      the ring, whose Scheduler adopts and completes it.
+    * **Zone-scheduler bounce** — the owning zone's central machine
+      crash-restarts mid-run; client retries bridge the window, the
+      restarted Scheduler re-adopts its in-flight job sets
+      (``wsrf_recover``), and the set completes with no steal.
+    """
+
+    def _build(self, n_jobs=6, drop=DROP_THRESHOLD, fault_seed=3):
+        from repro.gridapp import FederationConfig
+
+        # Same stronger policy as TestRestartUnderFire: the retry budget
+        # must outlast a zone outage before the client concludes the
+        # zone is dead (steal) or the host is back (bounce).
+        policy = RetryPolicy(
+            max_attempts=8, base_delay_s=0.5, backoff_factor=2.0,
+            max_delay_s=3.0, timeout_s=30.0,
+        )
+        tb = Testbed(
+            n_machines=4,
+            seed=11,
+            federation=FederationConfig(n_zones=2),
+            retry_policy=policy,
+            fault_tolerance=FaultToleranceConfig(
+                watchdog_period=5.0, stuck_after=20.0
+            ),
+            broker_redelivery=policy,
+        )
+        if drop:
+            tb.network.inject_faults(drop_probability=drop, seed=fault_seed)
+        tb.programs.register(
+            make_compute_program("work", 2.0, outputs={"out.dat": PAYLOAD})
+        )
+        fed = tb.make_federated_client()
+        spec = fed.new_job_set()
+        exe = fed.add_program_binary(tb.programs.get("work"))
+        for i in range(n_jobs):
+            spec.add(JobSpec(name=f"job{i:02d}", executable=FileRef(exe, "job.exe")))
+        owner = fed.zone_for(f"{fed.client.host_name}/jobset-0001")
+        owner_index = [z.name for z in tb.zones].index(owner)
+        return tb, fed, spec, owner_index
+
+    def _fetch_all(self, tb, fed, sub, n_jobs):
+        adopter = next(z for z in tb.zones if z.name == sub.zone)
+        rid = sub.jobset_epr.get(QName(UVA, "ResourceID"))
+        state = adopter.scheduler.store.load("Scheduler", rid)
+        dirs = state[QName(UVA, "job_dirs")]
+        assert len(dirs) == n_jobs
+        for name, dir_epr in sorted(dirs.items()):
+            content = tb.run(fed.fetch_output(dir_epr, "out.dat"))
+            assert content.to_bytes() == PAYLOAD, name
+
+    def test_zone_partition_midrun_steals_and_completes(self):
+        n_jobs = 6
+        tb, fed, spec, owner_index = self._build(n_jobs=n_jobs)
+        owner = tb.zones[owner_index].name
+
+        def scenario(env):
+            sub = yield from fed.submit(spec)
+            assert sub.zone == owner
+            # sever the whole owning zone once work is in flight
+            yield env.timeout(4.0)
+            tb.partition_zone(owner_index)
+            outcome, sub = yield from fed.poll_until_complete(
+                sub, period=3.0, give_up_after=2000.0
+            )
+            return outcome, sub
+
+        outcome, sub = tb.run(scenario(tb.env))
+        assert outcome == "completed"
+        assert tb.network.stats.drops > 0, "chaos must actually have bitten"
+        assert fed.steals == 1
+        assert sub.zone != owner
+        adopter = next(z for z in tb.zones if z.name == sub.zone)
+        assert adopter.scheduler.jobsets_stolen == 1
+        # the orphaned jobs were re-run on the surviving zone's machines
+        self._fetch_all(tb, fed, sub, n_jobs)
+
+    def test_zone_scheduler_bounce_readopts_without_steal(self):
+        n_jobs = 6
+        tb, fed, spec, owner_index = self._build(n_jobs=n_jobs)
+        zone = tb.zones[owner_index]
+        tb.restart_host(zone.central.name, at=6.0, down_for=3.0)
+        outcome, jobset_epr, _ = tb.run(
+            fed.run_job_set_polled(spec, period=3.0, give_up_after=2000.0)
+        )
+        assert outcome == "completed"
+        assert zone.scheduler.restarts == 1
+        assert zone.broker.restarts == 1
+        # re-adoption, not migration: the set finished where it started
+        assert fed.steals == 0
+        rid = jobset_epr.get(QName(UVA, "ResourceID"))
+        dirs = zone.scheduler.store.load("Scheduler", rid)[QName(UVA, "job_dirs")]
+        assert len(dirs) == n_jobs
+        for name, dir_epr in sorted(dirs.items()):
+            content = tb.run(fed.fetch_output(dir_epr, "out.dat"))
+            assert content.to_bytes() == PAYLOAD, name
+
+
 class TestChaosDeterminism:
     @staticmethod
     def _run_without_retries(fault_seed):

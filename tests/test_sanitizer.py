@@ -132,6 +132,54 @@ class TestCleanSuites:
         tb_on.san.assert_clean()
         assert _trace(tb_off) == _trace(tb_on)
 
+    def test_federated_fig3_clean(self):
+        """A federated Fig. 3 run — aggregator refreshes, cross-zone
+        dispatch and the broker uplink included — is sanitizer-clean,
+        and the hooks stay observation-only (identical trace/export).
+        The aggregator's read-refresh-serve cycle is the path at risk:
+        it rewrites entry rows outside a requires_resource dispatch,
+        which is exactly the shape the lockset checker flags unless the
+        entry's own resource lock is held (as NIS ReportUtilization
+        does)."""
+        from repro.gridapp import FederationConfig
+
+        def _run(sanitize):
+            tb = Testbed(
+                n_machines=2, seed=11, sanitize=sanitize, observability=True,
+                federation=FederationConfig(
+                    n_zones=2, max_queued_per_machine=1, staleness_s=0.0,
+                ),
+            )
+            tb.programs.register(
+                make_compute_program("work", 2.0, outputs={"out.dat": PAYLOAD})
+            )
+            fed = tb.make_federated_client()
+            spec = fed.new_job_set()
+            exe = fed.add_program_binary(tb.programs.get("work"))
+            for i in range(4):
+                spec.add(JobSpec(name=f"j{i}", executable=FileRef(exe, "job.exe")))
+            outcome, _, _ = tb.run(
+                fed.run_job_set_polled(spec, give_up_after=600.0)
+            )
+            tb.settle()
+            return tb, outcome
+
+        tb_off, out_off = _run(False)
+        tb_on, out_on = _run(True)
+        assert out_off == out_on == "completed"
+        # staleness_s=0 forces a NIS re-fetch + entry rewrite on every
+        # aggregator read; the tight queue cap forces aggregator reads.
+        assert tb_on.aggregator.catalog_refreshes > 0
+        crossed = sum(
+            getattr(z.scheduler, "cross_zone_dispatches", 0)
+            for z in tb_on.zones
+        )
+        assert crossed > 0
+        assert tb_on.san.accesses_checked > 0
+        tb_on.san.assert_clean()
+        assert _trace(tb_off) == _trace(tb_on)
+        assert tb_off.obs.export_json() == tb_on.obs.export_json()
+
 
 # -- the racy fixture, caught by both tiers ----------------------------------------
 
